@@ -1,0 +1,161 @@
+// Command census runs one or more IPv4 anycast censuses end-to-end against
+// the synthetic Internet and prints the Fig. 4 funnel: hitlist size, pruned
+// target list, responsive targets, greylist, and detected anycast /24s.
+//
+// With -out DIR it also writes each vantage point's measurements in the
+// binary record format (and, with -format csv, the verbose textual format
+// of Census-0).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"anycastmap/internal/analysis"
+	"anycastmap/internal/bgp"
+	"anycastmap/internal/census"
+	"anycastmap/internal/cities"
+	"anycastmap/internal/core"
+	"anycastmap/internal/hitlist"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/prober"
+	"anycastmap/internal/record"
+)
+
+func main() {
+	unicast := flag.Int("unicast24s", 20000, "unicast /24 background size")
+	rounds := flag.Int("censuses", 4, "number of census rounds")
+	vpsPer := flag.Int("vps", 261, "vantage points per census")
+	seed := flag.Uint64("seed", 2015, "world seed")
+	rate := flag.Float64("rate", 1000, "probing rate per VP (probes/s)")
+	out := flag.String("out", "", "directory to dump per-VP measurement files")
+	save := flag.String("save", "", "directory to save the census runs (loadable with census.LoadRun)")
+	format := flag.String("format", "binary", "record format for -out: binary or csv")
+	top := flag.Int("top", 15, "print the top-N anycast ASes")
+	flag.Parse()
+
+	log.SetFlags(0)
+	start := time.Now()
+
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Unicast24s = *unicast
+	world := netsim.New(cfg)
+	db := cities.Default()
+	pl := platform.PlanetLab(db)
+	table := bgp.FromWorld(world)
+
+	full := hitlist.FromWorld(world)
+	log.Printf("world: %d /24s (%d anycast), hitlist %d entries",
+		world.NumPrefixes(), len(world.Deployments()), full.Len())
+
+	// Preliminary single-VP census builds the blacklist (Sec. 3.3).
+	black := prober.BuildBlacklist(world, pl.VPs()[0], full.Targets(), prober.Config{Seed: *seed})
+	targets := full.PruneNeverAlive().Without(black.Targets())
+	log.Printf("blacklist: %d hosts; pruned target list: %d", black.Len(), targets.Len())
+
+	var runs []*census.Run
+	for round := 1; round <= *rounds; round++ {
+		vps := pl.Sample(*vpsPer, *seed+uint64(round))
+		t0 := time.Now()
+		run := census.Execute(world, vps, targets, black, uint64(round), census.Config{Seed: *seed, Rate: *rate})
+		log.Printf("census %d: %d VPs, %d probes, %d echo targets, %d greylisted (%v)",
+			round, len(vps), run.TotalProbes(), run.EchoTargets(), run.Greylist.Len(),
+			time.Since(t0).Round(time.Millisecond))
+		runs = append(runs, run)
+	}
+
+	if *out != "" {
+		if err := dump(world, pl, targets, black, *out, *format, *seed); err != nil {
+			log.Fatalf("dump: %v", err)
+		}
+	}
+	if *save != "" {
+		if err := os.MkdirAll(*save, 0o755); err != nil {
+			log.Fatalf("save: %v", err)
+		}
+		for i, run := range runs {
+			name := filepath.Join(*save, fmt.Sprintf("census-%d.run", i+1))
+			f, err := os.Create(name)
+			if err != nil {
+				log.Fatalf("save: %v", err)
+			}
+			if err := census.SaveRun(f, run); err != nil {
+				log.Fatalf("save %s: %v", name, err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("save %s: %v", name, err)
+			}
+		}
+		log.Printf("saved %d runs to %s", len(runs), *save)
+	}
+
+	combined, err := census.Combine(runs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outcomes := census.AnalyzeAll(db, combined, core.Options{}, 2, 0)
+	findings := analysis.Attribute(outcomes, table)
+	g := analysis.GlanceOf(findings)
+	log.Printf("combined: %d anycast /24s across %d ASes, %d replicas in %d cities / %d countries",
+		g.IP24s, g.ASes, g.Replicas, g.Cities, g.CC)
+
+	sts := analysis.PerAS(analysis.FilterMinReplicas(findings, 5), world.Registry)
+	fmt.Printf("\n%-24s %9s %7s\n", "AS", "replicas", "IP/24")
+	for i, st := range sts {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%-24s %9.1f %7d\n", st.AS.Name, st.MeanReplicas, st.IP24s)
+	}
+	log.Printf("\ntotal wall time %v", time.Since(start).Round(time.Millisecond))
+}
+
+// dump re-runs one probing round per VP, writing samples to files.
+func dump(world *netsim.World, pl *platform.Platform, targets *hitlist.Hitlist, black *prober.Greylist, dir, format string, seed uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	vps := pl.VPs()
+	if len(vps) > 8 {
+		vps = vps[:8] // keep the demo dump small
+	}
+	var total int64
+	for _, vp := range vps {
+		name := filepath.Join(dir, fmt.Sprintf("%s.%s", vp.Name, format))
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		var w record.Writer
+		switch format {
+		case "csv":
+			w = record.NewCSVWriter(f, vp.Name)
+		default:
+			w = record.NewBinaryWriter(f)
+		}
+		prober.Run(world, vp, targets.Targets(), black, prober.Config{Seed: seed, Round: 1},
+			func(s record.Sample) {
+				if err := w.Write(s); err != nil {
+					log.Fatalf("write %s: %v", name, err)
+				}
+			})
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		st, _ := f.Stat()
+		if st != nil {
+			total += st.Size()
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	log.Printf("dumped %d VP files (%d bytes) to %s", len(vps), total, dir)
+	return nil
+}

@@ -1,0 +1,46 @@
+// Command webview runs a census campaign and serves the results for
+// browsing, the equivalent of the paper's public dataset site ([21]):
+// an HTML index at /, a JSON API at /api/findings, and per-deployment
+// GeoJSON at /api/geojson?prefix=A.B.C.0/24.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"anycastmap/internal/experiments"
+	"anycastmap/internal/webview"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	unicast := flag.Int("unicast24s", 6000, "unicast /24 background size for the campaign")
+	censuses := flag.Int("censuses", 4, "census rounds")
+	seed := flag.Uint64("seed", 2015, "world seed")
+	flag.Parse()
+	log.SetFlags(0)
+
+	cfg := experiments.DefaultLabConfig()
+	cfg.Unicast24s = *unicast
+	cfg.Censuses = *censuses
+	cfg.Seed = *seed
+
+	log.Printf("running census campaign (%d unicast /24s, %d censuses)...", cfg.Unicast24s, cfg.Censuses)
+	start := time.Now()
+	lab := experiments.NewLab(cfg)
+	log.Printf("campaign done in %v: %d anycast /24s detected", time.Since(start).Round(time.Millisecond), len(lab.Findings))
+
+	srv, err := webview.New(lab.Findings, lab.World.Registry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving census results on http://%s/", *addr)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
+}

@@ -1,0 +1,90 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// It builds a synthetic Internet, probes one anycast target and one unicast
+// target from every PlanetLab vantage point, and runs the paper's
+// detection / enumeration / geolocation technique on both.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"anycastmap/internal/cities"
+	"anycastmap/internal/core"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A synthetic Internet: the full anycast inventory of the paper
+	//    plus a small unicast background.
+	cfg := netsim.DefaultConfig()
+	cfg.Unicast24s = 2000
+	world := netsim.New(cfg)
+	db := cities.Default()
+	pl := platform.PlanetLab(db)
+	fmt.Printf("world: %d /24s, %d of them anycast; %d PlanetLab vantage points\n\n",
+		world.NumPrefixes(), len(world.Deployments()), pl.Len())
+
+	// 2. Pick one anycast deployment (CloudFlare's first /24) and one
+	//    unicast /24, and measure both from everywhere.
+	cf := world.Registry.MustByName("CLOUDFLARENET,US")
+	anycastDep := world.DeploymentsByASN(cf.ASN)[0]
+	anycastIP, _ := world.Representative(anycastDep.Prefix)
+
+	var unicastIP netsim.IP
+	world.Prefixes(func(p netsim.Prefix24) {
+		if unicastIP != 0 || world.IsAnycast(p) {
+			return
+		}
+		// A hitlist-alive representative that answers right now.
+		if ip, alive := world.Representative(p); alive && world.ProbeICMP(pl.VPs()[0], ip, 1).OK() {
+			unicastIP = ip
+		}
+	})
+
+	for _, target := range []netsim.IP{anycastIP, unicastIP} {
+		ms := measure(world, pl, target)
+		res := core.Analyze(db, ms, core.Options{})
+		if !res.Anycast {
+			fmt.Printf("%v: unicast (no speed-of-light violation across %d VPs)\n\n", target, len(ms))
+			continue
+		}
+		fmt.Printf("%v: ANYCAST, at least %d replicas:\n", target, res.Count())
+		for _, r := range res.Replicas {
+			if r.Located {
+				fmt.Printf("  %v\n", r.City)
+			}
+		}
+		fmt.Println()
+	}
+
+	// 3. Compare with the ground truth the measurement never saw.
+	fmt.Printf("ground truth for %v: %d replicas in %v\n",
+		anycastDep.Prefix, len(anycastDep.Replicas), anycastDep.Cities())
+}
+
+// measure probes the target from every vantage point, keeping the minimum
+// RTT over a few rounds (as the paper's census combination does).
+func measure(world *netsim.World, pl *platform.Platform, target netsim.IP) []core.Measurement {
+	var ms []core.Measurement
+	for _, vp := range pl.VPs() {
+		best := time.Duration(-1)
+		for round := uint64(1); round <= 3; round++ {
+			if reply := world.ProbeICMP(vp, target, round); reply.OK() {
+				if best < 0 || reply.RTT < best {
+					best = reply.RTT
+				}
+			}
+		}
+		if best >= 0 {
+			ms = append(ms, core.Measurement{VP: vp.Name, VPLoc: vp.Loc, RTT: best})
+		}
+	}
+	return ms
+}

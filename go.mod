@@ -1,0 +1,3 @@
+module anycastmap
+
+go 1.22

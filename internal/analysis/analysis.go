@@ -1,0 +1,417 @@
+// Package analysis is the characterization pipeline of Sec. 4: it
+// attributes detected anycast /24s to ASes via the routing table, builds
+// the per-AS footprint statistics of the bird's-eye view (Fig. 9), the
+// census-at-a-glance aggregates (Fig. 10), the category breakdown
+// (Fig. 11), the distribution series of Figs. 12/13/15, and the portscan
+// summaries of Figs. 14 and 16.
+package analysis
+
+import (
+	"sort"
+
+	"anycastmap/internal/asdb"
+	"anycastmap/internal/bgp"
+	"anycastmap/internal/census"
+	"anycastmap/internal/core"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/portscan"
+	"anycastmap/internal/services"
+	"anycastmap/internal/stats"
+)
+
+// Finding is one detected anycast /24 attributed to its origin AS.
+type Finding struct {
+	Prefix netsim.Prefix24
+	ASN    int
+	Result core.Result
+}
+
+// Attribute maps census outcomes to findings using the routing table (the
+// a-posteriori /24-to-announcement mapping of Sec. 3.1). Outcomes whose
+// prefix has no origin are dropped.
+func Attribute(outcomes []census.Outcome, table *bgp.Table) []Finding {
+	out := make([]Finding, 0, len(outcomes))
+	for _, o := range outcomes {
+		asn, ok := table.OriginAS(o.Prefix())
+		if !ok {
+			continue
+		}
+		out = append(out, Finding{Prefix: o.Prefix(), ASN: asn, Result: o.Result})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+// Glance is one row of the Fig. 10 table.
+type Glance struct {
+	IP24s    int
+	ASes     int
+	Cities   int
+	CC       int
+	Replicas int
+}
+
+// GlanceOf aggregates a finding set: distinct /24s and ASes, distinct
+// located cities and their countries, and the total enumerated replicas.
+func GlanceOf(fs []Finding) Glance {
+	ases := map[int]bool{}
+	cityCC := map[string]string{}
+	g := Glance{}
+	for _, f := range fs {
+		g.IP24s++
+		ases[f.ASN] = true
+		g.Replicas += f.Result.Count()
+		for _, r := range f.Result.Replicas {
+			if r.Located {
+				cityCC[r.City.Key()] = r.City.CC
+			}
+		}
+	}
+	ccs := map[string]bool{}
+	for _, cc := range cityCC {
+		ccs[cc] = true
+	}
+	g.ASes = len(ases)
+	g.Cities = len(cityCC)
+	g.CC = len(ccs)
+	return g
+}
+
+// FilterMinReplicas keeps the findings of ASes for which the census
+// enumerated at least min replicas on some /24 (the paper's top-100
+// criterion with min=5).
+func FilterMinReplicas(fs []Finding, min int) []Finding {
+	maxByAS := map[int]int{}
+	for _, f := range fs {
+		if c := f.Result.Count(); c > maxByAS[f.ASN] {
+			maxByAS[f.ASN] = c
+		}
+	}
+	var out []Finding
+	for _, f := range fs {
+		if maxByAS[f.ASN] >= min {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FilterCAIDATop100 keeps findings of ASes in the CAIDA top-100 rank.
+func FilterCAIDATop100(fs []Finding, reg *asdb.Registry) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if a, ok := reg.ByASN(f.ASN); ok && a.CAIDARank > 0 && a.CAIDARank <= 100 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FilterAlexaHosts keeps the findings whose /24 actually serves an Alexa
+// top-100k website, per the public DNS-resolution mapping (Fig. 10 counts
+// the hosting /24s, not every prefix of the hosting ASes).
+func FilterAlexaHosts(fs []Finding, hosted func(netsim.Prefix24) bool) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if hosted(f.Prefix) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ASStat is one AS row of the Fig. 9 bird's-eye view.
+type ASStat struct {
+	AS            asdb.AS
+	IP24s         int
+	MeanReplicas  float64
+	StdReplicas   float64
+	MaxReplicas   int
+	TotalReplicas int
+	// Cities is the AS-wide set of located replica cities.
+	Cities int
+	// OpenPorts is filled from the portscan summary when available.
+	OpenPorts int
+}
+
+// PerAS groups findings by AS and computes the footprint statistics,
+// sorted by decreasing mean geographical footprint (the Fig. 9 x-axis
+// order). ASes missing from the registry are skipped.
+func PerAS(fs []Finding, reg *asdb.Registry) []ASStat {
+	group := map[int][]Finding{}
+	for _, f := range fs {
+		group[f.ASN] = append(group[f.ASN], f)
+	}
+	var out []ASStat
+	for asn, asFs := range group {
+		a, ok := reg.ByASN(asn)
+		if !ok {
+			continue
+		}
+		st := ASStat{AS: a, IP24s: len(asFs)}
+		var counts []float64
+		citySet := map[string]bool{}
+		for _, f := range asFs {
+			c := f.Result.Count()
+			counts = append(counts, float64(c))
+			st.TotalReplicas += c
+			if c > st.MaxReplicas {
+				st.MaxReplicas = c
+			}
+			for _, r := range f.Result.Replicas {
+				if r.Located {
+					citySet[r.City.Key()] = true
+				}
+			}
+		}
+		st.MeanReplicas = stats.Mean(counts)
+		st.StdReplicas = stats.StdDev(counts)
+		st.Cities = len(citySet)
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MeanReplicas != out[j].MeanReplicas {
+			return out[i].MeanReplicas > out[j].MeanReplicas
+		}
+		return out[i].AS.ASN < out[j].AS.ASN
+	})
+	return out
+}
+
+// ReplicasPerPrefix returns the per-/24 replica counts (the Fig. 12 CDF
+// input).
+func ReplicasPerPrefix(fs []Finding) []float64 {
+	out := make([]float64, len(fs))
+	for i, f := range fs {
+		out[i] = float64(f.Result.Count())
+	}
+	return out
+}
+
+// SubnetsPerAS returns the per-AS anycast /24 counts (the Fig. 13 CDF
+// input).
+func SubnetsPerAS(fs []Finding) []float64 {
+	byAS := map[int]int{}
+	for _, f := range fs {
+		byAS[f.ASN]++
+	}
+	out := make([]float64, 0, len(byAS))
+	for _, n := range byAS {
+		out = append(out, float64(n))
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// CategoryBreakdown computes the Fig. 11 coarse-category shares over the
+// distinct ASes of the findings.
+func CategoryBreakdown(fs []Finding, reg *asdb.Registry) map[string]float64 {
+	seen := map[int]bool{}
+	var ases []asdb.AS
+	for _, f := range fs {
+		if seen[f.ASN] {
+			continue
+		}
+		seen[f.ASN] = true
+		if a, ok := reg.ByASN(f.ASN); ok {
+			ases = append(ases, a)
+		}
+	}
+	return asdb.CategoryBreakdown(ases)
+}
+
+// ScanSummary aggregates a portscan campaign (the Fig. 14 header row).
+type ScanSummary struct {
+	ScannedIPs    int
+	RespondingIPs int
+	// ASes counts distinct ASes with at least one open TCP port.
+	ASes int
+	// UnionPorts / UnionWellKnown / UnionSSL size the distinct port
+	// universe across the whole campaign.
+	UnionPorts     int
+	UnionWellKnown int
+	UnionSSL       int
+	// Software counts distinct fingerprinted implementations.
+	Software int
+	// PortsPerAS maps ASN -> number of distinct open ports across the
+	// AS's scanned hosts (the Fig. 15 CCDF input).
+	PortsPerAS map[int]int
+}
+
+// SummarizeScan aggregates a campaign, attributing hosts via the routing
+// table.
+func SummarizeScan(camp *portscan.Campaign, table *bgp.Table) ScanSummary {
+	sum := ScanSummary{
+		ScannedIPs: len(camp.Reports),
+		PortsPerAS: map[int]int{},
+	}
+	unionPorts := map[uint16]bool{}
+	sslPorts := map[uint16]bool{}
+	softwareSet := map[string]bool{}
+	asPorts := map[int]map[uint16]bool{}
+	for _, rep := range camp.Reports {
+		if !rep.Responded() {
+			continue
+		}
+		sum.RespondingIPs++
+		asn, ok := table.OriginAS(rep.Target.Prefix())
+		if !ok {
+			continue
+		}
+		if asPorts[asn] == nil {
+			asPorts[asn] = map[uint16]bool{}
+		}
+		for _, p := range rep.Open {
+			unionPorts[p.Port] = true
+			asPorts[asn][p.Port] = true
+			if p.SSL {
+				sslPorts[p.Port] = true
+			}
+			if p.Software != "" {
+				softwareSet[p.Software] = true
+			}
+		}
+	}
+	for p := range unionPorts {
+		if services.IsWellKnown(p) {
+			sum.UnionWellKnown++
+		}
+	}
+	sum.UnionSSL = len(sslPorts)
+	for asn, ports := range asPorts {
+		sum.PortsPerAS[asn] = len(ports)
+	}
+	sum.ASes = len(asPorts)
+	sum.UnionPorts = len(unionPorts)
+	sum.Software = len(softwareSet)
+	return sum
+}
+
+// PortCount is one bar of the Fig. 14 top-10 plots.
+type PortCount struct {
+	Port  uint16
+	Count int
+}
+
+// TopPortsByAS returns the ports ordered by how many distinct ASes have
+// them open, capped at n.
+func TopPortsByAS(camp *portscan.Campaign, table *bgp.Table, n int) []PortCount {
+	byPort := map[uint16]map[int]bool{}
+	for _, rep := range camp.Reports {
+		asn, ok := table.OriginAS(rep.Target.Prefix())
+		if !ok {
+			continue
+		}
+		for _, p := range rep.Open {
+			if byPort[p.Port] == nil {
+				byPort[p.Port] = map[int]bool{}
+			}
+			byPort[p.Port][asn] = true
+		}
+	}
+	return topCounts(byPort, n)
+}
+
+// TopPortsByPrefix returns the ports ordered by how many scanned /24s have
+// them open, capped at n. Comparing it with TopPortsByAS exposes the class
+// imbalance of Sec. 4.3: CloudFlare's 328 /24s dominate the per-/24 view.
+func TopPortsByPrefix(camp *portscan.Campaign, n int) []PortCount {
+	byPort := map[uint16]map[netsim.Prefix24]bool{}
+	for _, rep := range camp.Reports {
+		for _, p := range rep.Open {
+			if byPort[p.Port] == nil {
+				byPort[p.Port] = map[netsim.Prefix24]bool{}
+			}
+			byPort[p.Port][rep.Target.Prefix()] = true
+		}
+	}
+	return topCounts(byPort, n)
+}
+
+func topCounts[K comparable](byPort map[uint16]map[K]bool, n int) []PortCount {
+	out := make([]PortCount, 0, len(byPort))
+	for p, set := range byPort {
+		out = append(out, PortCount{Port: p, Count: len(set)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Port < out[j].Port
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// SoftwareCount is one bar of the Fig. 16 breakdown.
+type SoftwareCount struct {
+	Software string
+	Category string // DNS / Web / Mail / Other
+	ASes     int
+}
+
+// SoftwareBreakdown counts, per fingerprinted software, the distinct ASes
+// running it, grouped in Fig. 16 category order.
+func SoftwareBreakdown(camp *portscan.Campaign, table *bgp.Table) []SoftwareCount {
+	bySW := map[string]map[int]bool{}
+	for _, rep := range camp.Reports {
+		asn, ok := table.OriginAS(rep.Target.Prefix())
+		if !ok {
+			continue
+		}
+		for _, p := range rep.Open {
+			if p.Software == "" {
+				continue
+			}
+			if bySW[p.Software] == nil {
+				bySW[p.Software] = map[int]bool{}
+			}
+			bySW[p.Software][asn] = true
+		}
+	}
+	catRank := map[string]int{"DNS": 0, "Web": 1, "Mail": 2, "Other": 3}
+	out := make([]SoftwareCount, 0, len(bySW))
+	for sw, ases := range bySW {
+		out = append(out, SoftwareCount{
+			Software: sw,
+			Category: services.SoftwareCategory(sw),
+			ASes:     len(ases),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := catRank[out[i].Category], catRank[out[j].Category]
+		if ci != cj {
+			return ci < cj
+		}
+		if out[i].ASes != out[j].ASes {
+			return out[i].ASes > out[j].ASes
+		}
+		return out[i].Software < out[j].Software
+	})
+	return out
+}
+
+// PortsCCDF returns the Fig. 15 series: the CCDF of distinct open TCP
+// ports per AS.
+func PortsCCDF(sum ScanSummary) []stats.Point {
+	var xs []float64
+	for _, n := range sum.PortsPerAS {
+		xs = append(xs, float64(n))
+	}
+	return stats.CCDF(xs)
+}
+
+// FootprintCorrelation returns the Pearson correlation between the
+// geographical footprint (mean replicas) and the /24 footprint of the
+// given AS stats - the paper reports a weak 0.35, evidence that the two
+// dimensions of anycast deployment are independent choices.
+func FootprintCorrelation(sts []ASStat) float64 {
+	var geo, ip24 []float64
+	for _, st := range sts {
+		geo = append(geo, st.MeanReplicas)
+		ip24 = append(ip24, float64(st.IP24s))
+	}
+	return stats.Pearson(geo, ip24)
+}

@@ -1,0 +1,344 @@
+package analysis
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"anycastmap/internal/asdb"
+	"anycastmap/internal/bgp"
+	"anycastmap/internal/cities"
+	"anycastmap/internal/core"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/portscan"
+)
+
+var (
+	once sync.Once
+	w    *netsim.World
+	tbl  *bgp.Table
+	reg  *asdb.Registry
+	db   *cities.DB
+)
+
+func testbed(t *testing.T) (*netsim.World, *bgp.Table) {
+	t.Helper()
+	once.Do(func() {
+		cfg := netsim.DefaultConfig()
+		cfg.Unicast24s = 2000
+		w = netsim.New(cfg)
+		tbl = bgp.FromWorld(w)
+		reg = w.Registry
+		db = cities.Default()
+	})
+	return w, tbl
+}
+
+// fakeResult builds a core.Result with located replicas in the named
+// cities.
+func fakeResult(t *testing.T, cityNames ...[2]string) core.Result {
+	t.Helper()
+	testbed(t)
+	var reps []core.GeoReplica
+	for _, nc := range cityNames {
+		reps = append(reps, core.GeoReplica{Located: true, City: db.MustByName(nc[0], nc[1])})
+	}
+	return core.Result{Anycast: true, Replicas: reps}
+}
+
+func syntheticFindings(t *testing.T) []Finding {
+	t.Helper()
+	w, _ := testbed(t)
+	cf := reg.MustByName("CLOUDFLARENET,US")
+	lvl := reg.MustByName("LEVEL3,US")
+	tail := reg.All()[120] // a tail AS
+	mk := func(asn, i int, res core.Result) Finding {
+		return Finding{Prefix: w.DeploymentsByASN(asn)[i].Prefix, ASN: asn, Result: res}
+	}
+	return []Finding{
+		mk(cf.ASN, 0, fakeResult(t, [2]string{"Amsterdam", "NL"}, [2]string{"Tokyo", "JP"},
+			[2]string{"New York", "US"}, [2]string{"Sydney", "AU"}, [2]string{"London", "GB"})),
+		mk(cf.ASN, 1, fakeResult(t, [2]string{"Amsterdam", "NL"}, [2]string{"Tokyo", "JP"},
+			[2]string{"Frankfurt", "DE"}, [2]string{"Singapore", "SG"}, [2]string{"Miami", "US"})),
+		mk(lvl.ASN, 0, fakeResult(t, [2]string{"Dallas", "US"}, [2]string{"London", "GB"})),
+		mk(tail.ASN, 0, fakeResult(t, [2]string{"Paris", "FR"}, [2]string{"Madrid", "ES"})),
+	}
+}
+
+func TestGlanceOf(t *testing.T) {
+	fs := syntheticFindings(t)
+	g := GlanceOf(fs)
+	if g.IP24s != 4 || g.ASes != 3 {
+		t.Errorf("glance = %+v", g)
+	}
+	if g.Replicas != 5+5+2+2 {
+		t.Errorf("replicas = %d", g.Replicas)
+	}
+	// Distinct cities: AMS TYO NYC SYD LON FRA SIN MIA DAL PAR MAD = 11.
+	if g.Cities != 11 {
+		t.Errorf("cities = %d, want 11", g.Cities)
+	}
+	if g.CC < 8 {
+		t.Errorf("countries = %d", g.CC)
+	}
+}
+
+func TestFilterMinReplicas(t *testing.T) {
+	fs := syntheticFindings(t)
+	top := FilterMinReplicas(fs, 5)
+	// Only CloudFlare has a /24 with >= 5 replicas; both its /24s stay.
+	if len(top) != 2 {
+		t.Fatalf("FilterMinReplicas kept %d findings, want 2", len(top))
+	}
+	for _, f := range top {
+		if f.ASN != reg.MustByName("CLOUDFLARENET,US").ASN {
+			t.Error("non-CloudFlare finding survived the >=5 filter")
+		}
+	}
+	if got := len(FilterMinReplicas(fs, 2)); got != 4 {
+		t.Errorf("min=2 kept %d, want all 4", got)
+	}
+}
+
+func TestFilterCAIDAAndAlexa(t *testing.T) {
+	fs := syntheticFindings(t)
+	caida := FilterCAIDATop100(fs, reg)
+	if len(caida) != 1 || caida[0].ASN != reg.MustByName("LEVEL3,US").ASN {
+		t.Errorf("CAIDA filter = %v", caida)
+	}
+	w, _ := testbed(t)
+	alexa := FilterAlexaHosts(fs, w.AlexaHosted)
+	if len(alexa) != 2 {
+		t.Errorf("Alexa filter kept %d, want CloudFlare's 2", len(alexa))
+	}
+}
+
+func TestPerAS(t *testing.T) {
+	fs := syntheticFindings(t)
+	sts := PerAS(fs, reg)
+	if len(sts) != 3 {
+		t.Fatalf("PerAS returned %d ASes", len(sts))
+	}
+	// Sorted by decreasing mean footprint: CloudFlare first.
+	if sts[0].AS.Name != "CLOUDFLARENET,US" {
+		t.Errorf("first AS = %v", sts[0].AS)
+	}
+	if sts[0].IP24s != 2 || sts[0].MeanReplicas != 5 || sts[0].StdReplicas != 0 {
+		t.Errorf("CloudFlare stat = %+v", sts[0])
+	}
+	if sts[0].Cities != 8 {
+		t.Errorf("CloudFlare cities = %d, want 8 distinct", sts[0].Cities)
+	}
+	if sts[0].MaxReplicas != 5 || sts[0].TotalReplicas != 10 {
+		t.Errorf("CloudFlare max/total = %d/%d", sts[0].MaxReplicas, sts[0].TotalReplicas)
+	}
+}
+
+func TestDistributionInputs(t *testing.T) {
+	fs := syntheticFindings(t)
+	rp := ReplicasPerPrefix(fs)
+	if len(rp) != 4 {
+		t.Fatal("ReplicasPerPrefix length")
+	}
+	sp := SubnetsPerAS(fs)
+	if len(sp) != 3 || sp[0] != 1 || sp[2] != 2 {
+		t.Errorf("SubnetsPerAS = %v", sp)
+	}
+}
+
+func TestCategoryBreakdown(t *testing.T) {
+	fs := syntheticFindings(t)
+	bd := CategoryBreakdown(fs, reg)
+	if bd["CDN"] == 0 || bd["ISP"] == 0 {
+		t.Errorf("breakdown = %v", bd)
+	}
+	var sum float64
+	for _, v := range bd {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("breakdown sums to %v", sum)
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	w, tbl := testbed(t)
+	// Build outcomes straight from ground truth prefixes.
+	d := w.Deployments()[0]
+	oc := []struct {
+		p netsim.Prefix24
+	}{{d.Prefix}}
+	_ = oc
+	fs := Attribute(nil, tbl)
+	if len(fs) != 0 {
+		t.Error("empty outcomes should yield no findings")
+	}
+}
+
+func scanCampaign(t *testing.T) *portscan.Campaign {
+	t.Helper()
+	w, _ := testbed(t)
+	vp := platform.PlanetLab(cities.Default()).VPs()[0]
+	var targets []netsim.IP
+	for _, name := range []string{"CLOUDFLARENET,US", "EDGECAST,US", "GOOGLE,US", "L-ROOT,US", "OVH,FR"} {
+		as := reg.MustByName(name)
+		ip, _ := w.Representative(w.DeploymentsByASN(as.ASN)[0].Prefix)
+		targets = append(targets, ip)
+	}
+	return portscan.Scan(w, vp, targets, portscan.Config{
+		Ports: []uint16{22, 25, 53, 80, 110, 143, 179, 443, 465, 554, 587, 993, 1935, 2052, 2053, 2082, 2083, 3306, 8080, 8443},
+	})
+}
+
+func TestSummarizeScan(t *testing.T) {
+	_, tbl := testbed(t)
+	camp := scanCampaign(t)
+	sum := SummarizeScan(camp, tbl)
+	if sum.ScannedIPs != 5 {
+		t.Errorf("scanned = %d", sum.ScannedIPs)
+	}
+	if sum.RespondingIPs < 4 || sum.ASes < 4 {
+		t.Errorf("responding=%d ases=%d", sum.RespondingIPs, sum.ASes)
+	}
+	if sum.UnionPorts < 8 {
+		t.Errorf("union ports = %d", sum.UnionPorts)
+	}
+	if sum.UnionWellKnown == 0 || sum.UnionSSL == 0 {
+		t.Error("well-known/SSL counts empty")
+	}
+	if sum.Software < 3 {
+		t.Errorf("software count = %d", sum.Software)
+	}
+	cf := reg.MustByName("CLOUDFLARENET,US")
+	if sum.PortsPerAS[cf.ASN] < 8 {
+		t.Errorf("CloudFlare ports = %d", sum.PortsPerAS[cf.ASN])
+	}
+}
+
+func TestTopPorts(t *testing.T) {
+	_, tbl := testbed(t)
+	camp := scanCampaign(t)
+	byAS := TopPortsByAS(camp, tbl, 10)
+	if len(byAS) == 0 {
+		t.Fatal("no ports")
+	}
+	// 53 or 80 should lead the per-AS count.
+	if byAS[0].Port != 53 && byAS[0].Port != 80 && byAS[0].Port != 443 {
+		t.Errorf("top per-AS port = %d", byAS[0].Port)
+	}
+	for i := 1; i < len(byAS); i++ {
+		if byAS[i].Count > byAS[i-1].Count {
+			t.Error("per-AS counts not sorted")
+		}
+	}
+	byPrefix := TopPortsByPrefix(camp, 5)
+	if len(byPrefix) != 5 {
+		t.Errorf("cap not applied: %d", len(byPrefix))
+	}
+}
+
+func TestSoftwareBreakdown(t *testing.T) {
+	_, tbl := testbed(t)
+	camp := scanCampaign(t)
+	bd := SoftwareBreakdown(camp, tbl)
+	if len(bd) < 3 {
+		t.Fatalf("breakdown too small: %v", bd)
+	}
+	catRank := map[string]int{"DNS": 0, "Web": 1, "Mail": 2, "Other": 3}
+	for i := 1; i < len(bd); i++ {
+		if catRank[bd[i].Category] < catRank[bd[i-1].Category] {
+			t.Error("categories out of order")
+		}
+	}
+	for _, sc := range bd {
+		if sc.ASes < 1 || sc.Category == "" {
+			t.Errorf("bad software count %+v", sc)
+		}
+	}
+}
+
+func TestPortsCCDF(t *testing.T) {
+	sum := ScanSummary{PortsPerAS: map[int]int{1: 1, 2: 3, 3: 3, 4: 10}}
+	pts := PortsCCDF(sum)
+	if len(pts) != 3 {
+		t.Fatalf("CCDF = %v", pts)
+	}
+	if pts[0].P != 1 {
+		t.Error("CCDF must start at 1")
+	}
+}
+
+func TestFootprintCorrelation(t *testing.T) {
+	sts := []ASStat{
+		{MeanReplicas: 10, IP24s: 300},
+		{MeanReplicas: 20, IP24s: 1},
+		{MeanReplicas: 5, IP24s: 5},
+		{MeanReplicas: 8, IP24s: 40},
+	}
+	r := FootprintCorrelation(sts)
+	if r < -1 || r > 1 {
+		t.Errorf("correlation out of range: %v", r)
+	}
+	if FootprintCorrelation(nil) != 0 {
+		t.Error("empty correlation should be 0")
+	}
+}
+
+func TestCountryDensity(t *testing.T) {
+	fs := syntheticFindings(t)
+	dens := CountryDensity(fs)
+	if len(dens) == 0 {
+		t.Fatal("no density rows")
+	}
+	total := 0
+	usFound := false
+	for i, cc := range dens {
+		total += cc.Replicas
+		if cc.CC == "US" {
+			usFound = true
+			if cc.Cities < 2 {
+				t.Errorf("US cities = %d", cc.Cities)
+			}
+		}
+		if i > 0 && cc.Replicas > dens[i-1].Replicas {
+			t.Error("density not sorted")
+		}
+	}
+	// All located replicas accounted for (synthetic findings are fully located).
+	want := 0
+	for _, f := range fs {
+		want += f.Result.Count()
+	}
+	if total != want {
+		t.Errorf("density total %d, want %d", total, want)
+	}
+	if !usFound {
+		t.Error("US missing from density")
+	}
+	if got := CountryDensity(nil); len(got) != 0 {
+		t.Error("empty findings should give empty density")
+	}
+}
+
+func TestDensityMap(t *testing.T) {
+	fs := syntheticFindings(t)
+	m := DensityMap(fs, 72, 24)
+	lines := strings.Split(strings.TrimRight(m, "\n"), "\n")
+	if len(lines) != 26 { // border + 24 rows + border
+		t.Fatalf("map has %d lines", len(lines))
+	}
+	for _, l := range lines[1:25] {
+		if len(l) != 74 {
+			t.Fatalf("row width %d", len(l))
+		}
+	}
+	// Something must be plotted.
+	if !strings.ContainsAny(m, ".:+*#@") {
+		t.Error("map is empty")
+	}
+	// Degenerate dimensions fall back to defaults without panicking.
+	if DensityMap(fs, 1, 1) == "" {
+		t.Error("fallback dimensions produced nothing")
+	}
+}

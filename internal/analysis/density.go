@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CountryCount is one row of the geographical density breakdown that backs
+// the Fig. 10 map: how many geolocated replicas sit in each country.
+type CountryCount struct {
+	CC       string
+	Replicas int
+	Cities   int
+}
+
+// CountryDensity aggregates the located replicas of the findings per
+// country, sorted by decreasing replica count.
+func CountryDensity(fs []Finding) []CountryCount {
+	type agg struct {
+		replicas int
+		cities   map[string]bool
+	}
+	byCC := map[string]*agg{}
+	for _, f := range fs {
+		for _, r := range f.Result.Replicas {
+			if !r.Located {
+				continue
+			}
+			a := byCC[r.City.CC]
+			if a == nil {
+				a = &agg{cities: map[string]bool{}}
+				byCC[r.City.CC] = a
+			}
+			a.replicas++
+			a.cities[r.City.Key()] = true
+		}
+	}
+	out := make([]CountryCount, 0, len(byCC))
+	for cc, a := range byCC {
+		out = append(out, CountryCount{CC: cc, Replicas: a.replicas, Cities: len(a.cities)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Replicas != out[j].Replicas {
+			return out[i].Replicas > out[j].Replicas
+		}
+		return out[i].CC < out[j].CC
+	})
+	return out
+}
+
+// DensityMap renders the located replicas of the findings as an ASCII
+// world map (the terminal cousin of Fig. 10's density map): a
+// cols x rows equirectangular grid where darker characters mean more
+// replicas.
+func DensityMap(fs []Finding, cols, rows int) string {
+	if cols < 10 {
+		cols = 72
+	}
+	if rows < 5 {
+		rows = 24
+	}
+	grid := make([][]int, rows)
+	for i := range grid {
+		grid[i] = make([]int, cols)
+	}
+	max := 0
+	for _, f := range fs {
+		for _, r := range f.Result.Replicas {
+			if !r.Located {
+				continue
+			}
+			// Equirectangular projection; the map spans 72S..84N to skip
+			// the empty polar bands.
+			x := int((r.City.Loc.Lon + 180) / 360 * float64(cols))
+			y := int((84 - r.City.Loc.Lat) / 156 * float64(rows))
+			if x < 0 || x >= cols || y < 0 || y >= rows {
+				continue
+			}
+			grid[y][x]++
+			if grid[y][x] > max {
+				max = grid[y][x]
+			}
+		}
+	}
+	shades := []byte(" .:+*#@")
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", cols))
+	for _, row := range grid {
+		b.WriteByte('|')
+		for _, v := range row {
+			if v == 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			idx := 1 + v*(len(shades)-2)/(max+1)
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "+%s+ densest cell: %d replicas\n", strings.Repeat("-", cols), max)
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package bgp
+
+import (
+	"sync"
+	"testing"
+
+	"anycastmap/internal/hitlist"
+	"anycastmap/internal/netsim"
+)
+
+var (
+	once sync.Once
+	w    *netsim.World
+	tbl  *Table
+)
+
+func testbed(t *testing.T) (*netsim.World, *Table) {
+	t.Helper()
+	once.Do(func() {
+		cfg := netsim.DefaultConfig()
+		cfg.Unicast24s = 5000
+		w = netsim.New(cfg)
+		tbl = FromWorld(w)
+	})
+	return w, tbl
+}
+
+func TestTableCoversWorld(t *testing.T) {
+	w, tbl := testbed(t)
+	if tbl.Len() != w.NumPrefixes() {
+		t.Errorf("table has %d routes for %d prefixes", tbl.Len(), w.NumPrefixes())
+	}
+}
+
+func TestOriginASMatchesGroundTruth(t *testing.T) {
+	w, tbl := testbed(t)
+	for _, d := range w.Deployments()[:200] {
+		asn, ok := tbl.OriginAS(d.Prefix)
+		if !ok || asn != d.ASN {
+			t.Fatalf("OriginAS(%v) = %d,%v want %d", d.Prefix, asn, ok, d.ASN)
+		}
+	}
+	if _, ok := tbl.OriginAS(netsim.Prefix24(5)); ok {
+		t.Error("unrouted prefix has an origin")
+	}
+	if tbl.Routed(netsim.Prefix24(5)) {
+		t.Error("unrouted prefix reported routed")
+	}
+}
+
+func TestAnycastMostlySlash24(t *testing.T) {
+	// Paper [35]: 88% of anycast prefixes are announced as /24.
+	w, tbl := testbed(t)
+	frac := tbl.FractionSlash24(w.AnycastPrefixes())
+	if frac < 0.84 || frac > 0.92 {
+		t.Errorf("anycast /24-announcement fraction = %.3f, want ~0.88", frac)
+	}
+	if tbl.FractionSlash24(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+}
+
+func TestRouteLengths(t *testing.T) {
+	_, tbl := testbed(t)
+	for _, r := range tbl.Routes() {
+		if r.AnnouncedLen < 8 || r.AnnouncedLen > 24 {
+			t.Fatalf("route %v has announced length %d", r.Prefix, r.AnnouncedLen)
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	// Sec. 3.1: 99.99% of routed /24s have a hitlist representative.
+	w, tbl := testbed(t)
+	h := hitlist.FromWorld(w)
+	covered, total := Coverage(tbl, h)
+	if total != tbl.Len() {
+		t.Fatal("total mismatch")
+	}
+	frac := float64(covered) / float64(total)
+	if frac < 0.9995 || frac > 1.0 {
+		t.Errorf("coverage = %.5f, want ~0.9999", frac)
+	}
+	if covered == total {
+		t.Log("no coverage gap in this small world (acceptable at test scale)")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	w, tbl := testbed(t)
+	again := FromWorld(w)
+	if again.Len() != tbl.Len() {
+		t.Fatal("table size differs")
+	}
+	for i := range tbl.Routes() {
+		if tbl.Routes()[i] != again.Routes()[i] {
+			t.Fatal("route differs between builds")
+		}
+	}
+}

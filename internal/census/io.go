@@ -1,0 +1,74 @@
+package census
+
+import (
+	"compress/flate"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/prober"
+)
+
+// runDisk is the persisted shape of a census run. The paper's workflow
+// uploads each vantage point's measurements to a central repository
+// (Fig. 1); SaveRun/LoadRun are that repository's storage format: gob
+// encoding under DEFLATE, which squeezes the sparse latency matrix well.
+type runDisk struct {
+	Round    uint64
+	VPs      []platform.VP
+	Targets  []netsim.IP
+	RTTus    [][]int32
+	Stats    []prober.Stats
+	Greylist map[netsim.IP]netsim.ReplyKind
+}
+
+// SaveRun writes the census run to w.
+func SaveRun(w io.Writer, r *Run) error {
+	fw, err := flate.NewWriter(w, flate.DefaultCompression)
+	if err != nil {
+		return fmt.Errorf("census: %w", err)
+	}
+	disk := runDisk{
+		Round:    r.Round,
+		VPs:      r.VPs,
+		Targets:  r.Targets,
+		RTTus:    r.RTTus,
+		Stats:    r.Stats,
+		Greylist: r.Greylist.Snapshot(),
+	}
+	if err := gob.NewEncoder(fw).Encode(&disk); err != nil {
+		return fmt.Errorf("census: encode run: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return fmt.Errorf("census: %w", err)
+	}
+	return nil
+}
+
+// LoadRun reads a census run saved by SaveRun and validates its shape.
+func LoadRun(r io.Reader) (*Run, error) {
+	fr := flate.NewReader(r)
+	defer fr.Close()
+	var disk runDisk
+	if err := gob.NewDecoder(fr).Decode(&disk); err != nil {
+		return nil, fmt.Errorf("census: decode run: %w", err)
+	}
+	if len(disk.RTTus) != len(disk.VPs) {
+		return nil, fmt.Errorf("census: run has %d matrix rows for %d VPs", len(disk.RTTus), len(disk.VPs))
+	}
+	for i, row := range disk.RTTus {
+		if len(row) != len(disk.Targets) {
+			return nil, fmt.Errorf("census: row %d has %d cells for %d targets", i, len(row), len(disk.Targets))
+		}
+	}
+	return &Run{
+		Round:    disk.Round,
+		VPs:      disk.VPs,
+		Targets:  disk.Targets,
+		RTTus:    disk.RTTus,
+		Stats:    disk.Stats,
+		Greylist: prober.FromSnapshot(disk.Greylist),
+	}, nil
+}

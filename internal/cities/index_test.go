@@ -1,0 +1,88 @@
+package cities
+
+import (
+	"math/rand"
+	"testing"
+
+	"anycastmap/internal/geo"
+)
+
+func randDisk(r *rand.Rand) geo.Disk {
+	return geo.Disk{
+		Center:   geo.Coord{Lat: r.Float64()*180 - 90, Lon: r.Float64()*360 - 180},
+		RadiusKm: r.Float64() * 6000,
+	}
+}
+
+// TestIndexMatchesLinearScan is the index's contract: identical results to
+// the straightforward implementation, on thousands of random disks.
+func TestIndexMatchesLinearScan(t *testing.T) {
+	db := Default()
+	for _, bandDeg := range []float64{0, 5, 10, 30, 200} {
+		idx := NewIndex(db, bandDeg)
+		r := rand.New(rand.NewSource(31))
+		for trial := 0; trial < 2000; trial++ {
+			d := randDisk(r)
+			wantCity, wantOK := db.LargestInDisk(d)
+			gotCity, gotOK := idx.LargestInDisk(d)
+			if wantOK != gotOK || (wantOK && wantCity != gotCity) {
+				t.Fatalf("band %v: LargestInDisk(%v) = %v,%v want %v,%v",
+					bandDeg, d, gotCity, gotOK, wantCity, wantOK)
+			}
+		}
+	}
+}
+
+func TestIndexInDiskMatchesLinearScan(t *testing.T) {
+	db := Default()
+	idx := NewIndex(db, 10)
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 500; trial++ {
+		d := randDisk(r)
+		want := db.InDisk(d)
+		got := idx.InDisk(d)
+		if len(want) != len(got) {
+			t.Fatalf("InDisk(%v): %d vs %d cities", d, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("InDisk(%v)[%d]: %v vs %v", d, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIndexPolarDisks(t *testing.T) {
+	// Disks touching the grid's edges must not lose cities.
+	db := Default()
+	idx := NewIndex(db, 10)
+	for _, d := range []geo.Disk{
+		{Center: geo.Coord{Lat: 89, Lon: 0}, RadiusKm: 4000},
+		{Center: geo.Coord{Lat: -89, Lon: 0}, RadiusKm: 6000},
+		{Center: geo.Coord{Lat: 0, Lon: 179.9}, RadiusKm: 2000},
+	} {
+		wantCity, wantOK := db.LargestInDisk(d)
+		gotCity, gotOK := idx.LargestInDisk(d)
+		if wantOK != gotOK || (wantOK && wantCity != gotCity) {
+			t.Errorf("edge disk %v: got %v,%v want %v,%v", d, gotCity, gotOK, wantCity, wantOK)
+		}
+	}
+}
+
+func BenchmarkLargestInDiskLinear(b *testing.B) {
+	db := Default()
+	d := geo.Disk{Center: geo.Coord{Lat: 48.85, Lon: 2.35}, RadiusKm: 800}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.LargestInDisk(d)
+	}
+}
+
+func BenchmarkLargestInDiskIndexed(b *testing.B) {
+	idx := NewIndex(Default(), 10)
+	d := geo.Disk{Center: geo.Coord{Lat: 48.85, Lon: 2.35}, RadiusKm: 800}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.LargestInDisk(d)
+	}
+}

@@ -1,0 +1,370 @@
+// Package core implements the paper's primary analysis technique
+// (Fig. 3; Cicalese et al., "A fistful of pings", INFOCOM 2015, applied at
+// census scale in the CoNEXT 2015 paper this repository reproduces):
+// latency-based anycast detection, enumeration and geolocation.
+//
+// Given RTT samples from geographically dispersed vantage points toward one
+// target address:
+//
+//  1. each sample is mapped to a disk centred at the vantage point whose
+//     radius is the distance light travels in fiber in RTT/2 — the answering
+//     replica provably lies inside the disk;
+//  2. two disjoint disks are a speed-of-light violation, proving the target
+//     is announced from at least two locations (detection);
+//  3. a Maximum Independent Set over the disk intersection graph
+//     lower-bounds the number of replicas; the NP-hard MIS is approximated
+//     greedily over disks of increasing radius, a 5-approximation for unit
+//     ball graphs (enumeration);
+//  4. each independent disk is classified to the most populated city it
+//     contains — the maximum-likelihood classifier with population bias
+//     that the paper found ~75% accurate at city level (geolocation);
+//  5. classified disks are collapsed onto their city and the process
+//     repeats until the replica set converges, increasing recall
+//     (iteration).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"anycastmap/internal/cities"
+	"anycastmap/internal/geo"
+)
+
+// Measurement is one latency sample toward the target under analysis.
+type Measurement struct {
+	// VP names the vantage point (for reporting only).
+	VP string
+	// VPLoc is the vantage point location.
+	VPLoc geo.Coord
+	// RTT is the minimum observed round-trip time from this vantage
+	// point; the caller should combine repeated probes by minimum so the
+	// sample approaches the propagation delay.
+	RTT time.Duration
+}
+
+// Disk maps the measurement to its constraint disk.
+func (m Measurement) Disk() geo.Disk { return geo.DiskFromRTT(m.VPLoc, m.RTT) }
+
+// GeoReplica is one enumerated (and, when possible, geolocated) replica.
+type GeoReplica struct {
+	// VP is the vantage point whose disk isolated this replica.
+	VP string
+	// Disk is the final (possibly city-collapsed) disk.
+	Disk geo.Disk
+	// City is the classified location; valid only when Located.
+	City cities.City
+	// Located is false when the disk contains no known city; the replica
+	// still counts toward enumeration.
+	Located bool
+}
+
+func (g GeoReplica) String() string {
+	if g.Located {
+		return fmt.Sprintf("%v (via %s)", g.City, g.VP)
+	}
+	return fmt.Sprintf("unlocated %v (via %s)", g.Disk, g.VP)
+}
+
+// Result is the outcome of the full analysis of one target.
+type Result struct {
+	// Anycast is true when a speed-of-light violation proves at least
+	// two replicas.
+	Anycast bool
+	// Replicas is the conservative enumeration: pairwise geo-consistent
+	// replicas, each carrying its classification. Empty for unicast
+	// targets.
+	Replicas []GeoReplica
+	// Iterations is how many enumerate-geolocate rounds ran before
+	// convergence.
+	Iterations int
+}
+
+// Count returns the conservative replica count (the MIS lower bound).
+func (r Result) Count() int { return len(r.Replicas) }
+
+// Cities returns the sorted distinct city keys of located replicas.
+func (r Result) Cities() []string {
+	set := map[string]bool{}
+	for _, g := range r.Replicas {
+		if g.Located {
+			set[g.City.Key()] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// MaxIterations bounds the enumerate-geolocate loop; 0 means the
+	// default of 10. The loop normally converges in 2-3 iterations.
+	MaxIterations int
+}
+
+func (o Options) maxIter() int {
+	if o.MaxIterations <= 0 {
+		return 10
+	}
+	return o.MaxIterations
+}
+
+// Detect reports whether the measurements prove the target anycast: some
+// pair of disks is disjoint. It is the cheap census-wide pass; Analyze
+// gives the full enumeration and geolocation.
+//
+// The implementation certifies the (overwhelmingly common) unicast case in
+// O(n): if any single point — tried from the centers of the smallest
+// disks — lies inside every disk, all disks pairwise overlap. Only when no
+// certificate is found does it fall back to the pairwise scan, which for
+// true anycast terminates at the first disjoint pair.
+func Detect(ms []Measurement) bool {
+	_, _, found := detectPair(disksOf(ms))
+	return found
+}
+
+// disksOf maps measurements to disks.
+func disksOf(ms []Measurement) []geo.Disk {
+	out := make([]geo.Disk, len(ms))
+	for i, m := range ms {
+		out[i] = m.Disk()
+	}
+	return out
+}
+
+// detectPair finds a disjoint pair of disks, if any.
+func detectPair(disks []geo.Disk) (int, int, bool) {
+	n := len(disks)
+	if n < 2 {
+		return 0, 0, false
+	}
+	// Candidate certificate points: centers of the three smallest disks.
+	// A point contained in every disk certifies pairwise overlap.
+	idx := smallestK(disks, 3)
+	for _, ci := range idx {
+		p := disks[ci].Center
+		ok := true
+		for i := range disks {
+			if !disks[i].Contains(p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return 0, 0, false // certified unicast-consistent
+		}
+	}
+	// Pairwise scan ordered by radius: small disks are the most likely to
+	// be disjoint, so true anycast exits early.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return disks[order[a]].RadiusKm < disks[order[b]].RadiusKm })
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			i, j := order[a], order[b]
+			if !disks[i].Overlaps(disks[j]) {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// smallestK returns the indices of the k smallest-radius disks.
+func smallestK(disks []geo.Disk, k int) []int {
+	idx := make([]int, len(disks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return disks[idx[a]].RadiusKm < disks[idx[b]].RadiusKm })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// MISGreedy returns the indices of an independent (pairwise disjoint) set
+// of disks, built greedily over disks of increasing radius. For disk
+// graphs this is a 5-approximation of the maximum independent set, and in
+// practice it is near-optimal (the paper validates it against brute
+// force).
+func MISGreedy(disks []geo.Disk) []int {
+	order := make([]int, len(disks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return disks[order[a]].RadiusKm < disks[order[b]].RadiusKm })
+	var chosen []int
+	for _, i := range order {
+		ok := true
+		for _, j := range chosen {
+			if disks[i].Overlaps(disks[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = append(chosen, i)
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// MISBrute returns an exact maximum independent set by exhaustive search.
+// It exists to validate MISGreedy in tests and is exponential: inputs are
+// limited to 24 disks.
+func MISBrute(disks []geo.Disk) []int {
+	n := len(disks)
+	if n > 24 {
+		panic("core: MISBrute limited to 24 disks")
+	}
+	// Precompute the conflict graph.
+	conflict := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if disks[i].Overlaps(disks[j]) {
+				conflict[i] |= 1 << j
+				conflict[j] |= 1 << i
+			}
+		}
+	}
+	var best uint32
+	bestSize := 0
+	for mask := uint32(0); mask < 1<<n; mask++ {
+		size := popcount(mask)
+		if size <= bestSize {
+			continue
+		}
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			if mask&(1<<i) != 0 && conflict[i]&mask != 0 {
+				ok = false
+			}
+		}
+		if ok {
+			best, bestSize = mask, size
+		}
+	}
+	out := make([]int, 0, bestSize)
+	for i := 0; i < n; i++ {
+		if best&(1<<i) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Locator is the geolocation side channel the analysis classifies disks
+// with: *cities.DB satisfies it directly, *cities.Index satisfies it with a
+// spatial index (the census pipeline uses the latter - LargestInDisk runs
+// once per MIS disk per iteration per anycast target).
+type Locator interface {
+	LargestInDisk(geo.Disk) (cities.City, bool)
+}
+
+// Analyze runs the full detection / enumeration / geolocation / iteration
+// pipeline over the measurements for one target.
+func Analyze(db *cities.DB, ms []Measurement, opt Options) Result {
+	return AnalyzeWith(db, ms, opt)
+}
+
+// AnalyzeWith is Analyze over any Locator.
+func AnalyzeWith(db Locator, ms []Measurement, opt Options) Result {
+	if len(ms) < 2 {
+		return Result{}
+	}
+	disks := disksOf(ms)
+	if _, _, anycast := detectPair(disks); !anycast {
+		return Result{}
+	}
+
+	// work keeps the evolving disk of each measurement plus its
+	// classification state.
+	type work struct {
+		disk      geo.Disk
+		city      cities.City
+		located   bool
+		collapsed bool
+	}
+	ws := make([]work, len(disks))
+	for i, d := range disks {
+		ws[i] = work{disk: d}
+	}
+
+	cur := make([]geo.Disk, len(ws))
+	var mis []int
+	prevKey := ""
+	iter := 0
+	for ; iter < opt.maxIter(); iter++ {
+		for i := range ws {
+			cur[i] = ws[i].disk
+		}
+		mis = MISGreedy(cur)
+
+		// Geolocate and collapse the newly independent disks.
+		changed := false
+		for _, i := range mis {
+			if ws[i].collapsed {
+				continue
+			}
+			if city, ok := db.LargestInDisk(ws[i].disk); ok {
+				ws[i].city = city
+				ws[i].located = true
+				ws[i].disk = geo.Disk{Center: city.Loc, RadiusKm: 0}
+			}
+			ws[i].collapsed = true
+			changed = true
+		}
+
+		// Converged when the replica set is stable and nothing collapsed.
+		key := fmt.Sprint(mis)
+		if !changed && key == prevKey {
+			break
+		}
+		prevKey = key
+	}
+
+	// The greedy MIS can (rarely) return a single disk even though
+	// detection proved two disjoint ones exist; enumeration must still
+	// report at least the proven pair.
+	if len(mis) < 2 {
+		i, j, _ := detectPair(disks)
+		mis = []int{i, j}
+		for _, k := range mis {
+			if !ws[k].collapsed {
+				if city, ok := db.LargestInDisk(disks[k]); ok {
+					ws[k].city = city
+					ws[k].located = true
+				}
+			}
+		}
+	}
+
+	reps := make([]GeoReplica, 0, len(mis))
+	for _, i := range mis {
+		reps = append(reps, GeoReplica{
+			VP:      ms[i].VP,
+			Disk:    ws[i].disk,
+			City:    ws[i].city,
+			Located: ws[i].located,
+		})
+	}
+	return Result{Anycast: true, Replicas: reps, Iterations: iter + 1}
+}

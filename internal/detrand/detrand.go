@@ -1,0 +1,68 @@
+// Package detrand provides deterministic pseudo-randomness derived from
+// hashing. The network simulator needs quantities that are random across
+// (vantage point, target) pairs but stable across runs and probe
+// repetitions — e.g. the BGP path stretch between a given VP and a given
+// replica must be the same on every probe, without storing a matrix of
+// O(VPs x targets) values. Hash-derived randomness gives exactly that:
+// a pure function of the identifying tuple and a world seed.
+package detrand
+
+import "math"
+
+// Hash64 mixes an arbitrary tuple of values into a single 64-bit hash using
+// splitmix64 steps. It is deterministic, fast and well distributed; it is
+// not cryptographic.
+func Hash64(vs ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vs {
+		h ^= v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h = mix(h)
+	}
+	return h
+}
+
+// mix is the splitmix64 finalizer.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 maps a hash to [0, 1).
+func Float64(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// UnitFloat is shorthand for Float64(Hash64(vs...)).
+func UnitFloat(vs ...uint64) float64 {
+	return Float64(Hash64(vs...))
+}
+
+// Intn maps a hash tuple to [0, n). It panics if n <= 0.
+func Intn(n int, vs ...uint64) int {
+	if n <= 0 {
+		panic("detrand: Intn with non-positive n")
+	}
+	return int(Hash64(vs...) % uint64(n))
+}
+
+// Norm maps a hash tuple to an approximately standard normal variate using
+// the Box-Muller transform on two derived uniforms.
+func Norm(vs ...uint64) float64 {
+	h := Hash64(vs...)
+	u1 := Float64(h)
+	u2 := Float64(mix(h + 1))
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Exp maps a hash tuple to an exponential variate with mean 1.
+func Exp(vs ...uint64) float64 {
+	u := UnitFloat(vs...)
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1 - u)
+}

@@ -1,0 +1,134 @@
+package detrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		return Hash64(a, b, c) == Hash64(a, b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash64OrderSensitive(t *testing.T) {
+	if Hash64(1, 2) == Hash64(2, 1) {
+		t.Error("Hash64 should depend on argument order")
+	}
+	if Hash64(1) == Hash64(1, 0) {
+		t.Error("Hash64 should depend on arity")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(a, b uint64) bool {
+		v := UnitFloat(a, b)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Distribution(t *testing.T) {
+	// Mean of many hashed uniforms should be close to 0.5.
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += UnitFloat(uint64(i), 42)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of hashed uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	counts := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		v := Intn(10, uint64(i), 7)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for d, c := range counts {
+		if c < 3500 || c > 6500 {
+			t.Errorf("digit %d appeared %d of 50000 times; poor uniformity", d, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	Intn(0, 1)
+}
+
+func TestNormMoments(t *testing.T) {
+	var sum, sumSq float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		v := Norm(uint64(i), 99)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		v := Exp(uint64(i), 5)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("Exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping one input bit should flip ~half the output bits on average.
+	var totalFlips int
+	trials := 1000
+	for i := 0; i < trials; i++ {
+		h1 := Hash64(uint64(i))
+		h2 := Hash64(uint64(i) ^ 1)
+		totalFlips += popcount(h1 ^ h2)
+	}
+	avg := float64(totalFlips) / float64(trials)
+	if avg < 24 || avg > 40 {
+		t.Errorf("avalanche average = %.1f bits, want ~32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func BenchmarkHash64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Hash64(uint64(i), 123, 456)
+	}
+}

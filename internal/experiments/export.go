@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"anycastmap/internal/analysis"
+	"anycastmap/internal/stats"
+)
+
+// ExportCSV writes the plot-ready data series behind every distribution
+// figure to dir, one CSV file per series - the dataset-release counterpart
+// of the paper's public results page. Files:
+//
+//	fig8_completion_cdf.csv    hours,cdf
+//	fig10_density.csv          cc,replicas,cities
+//	fig11_categories.csv       category,share
+//	fig12_replica_cdf.csv      replicas,cdf
+//	fig13_subnets_cdf.csv      subnets,cdf
+//	fig15_ports_ccdf.csv       ports,ccdf
+//	fig9_top_ases.csv          as,asn,mean_replicas,std,ip24s,open_ports
+func (l *Lab) ExportCSV(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	var written []string
+	write := func(name, header string, rows []string) error {
+		path := filepath.Join(dir, name)
+		var b strings.Builder
+		b.WriteString(header)
+		b.WriteByte('\n')
+		for _, r := range rows {
+			b.WriteString(r)
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return fmt.Errorf("export %s: %w", name, err)
+		}
+		written = append(written, path)
+		return nil
+	}
+	points := func(pts []stats.Point) []string {
+		rows := make([]string, len(pts))
+		for i, p := range pts {
+			rows[i] = fmt.Sprintf("%g,%g", p.X, p.P)
+		}
+		return rows
+	}
+
+	if err := write("fig8_completion_cdf.csv", "hours,cdf", points(l.Fig8().CDF)); err != nil {
+		return written, err
+	}
+
+	var densityRows []string
+	for _, cc := range analysis.CountryDensity(l.Findings) {
+		densityRows = append(densityRows, fmt.Sprintf("%s,%d,%d", cc.CC, cc.Replicas, cc.Cities))
+	}
+	if err := write("fig10_density.csv", "cc,replicas,cities", densityRows); err != nil {
+		return written, err
+	}
+
+	bd := l.Fig11().Breakdown
+	var catRows []string
+	for _, cat := range []string{"DNS", "CDN", "Cloud", "ISP", "Security", "Social", "Unknown", "Other"} {
+		catRows = append(catRows, fmt.Sprintf("%s,%g", cat, bd[cat]))
+	}
+	if err := write("fig11_categories.csv", "category,share", catRows); err != nil {
+		return written, err
+	}
+
+	replicaCDF := stats.ECDF(analysis.ReplicasPerPrefix(l.Findings))
+	if err := write("fig12_replica_cdf.csv", "replicas,cdf", points(replicaCDF)); err != nil {
+		return written, err
+	}
+
+	subnetCDF := stats.ECDF(analysis.SubnetsPerAS(l.Findings))
+	if err := write("fig13_subnets_cdf.csv", "subnets,cdf", points(subnetCDF)); err != nil {
+		return written, err
+	}
+
+	if err := write("fig15_ports_ccdf.csv", "ports,ccdf", points(l.Fig15().CCDF)); err != nil {
+		return written, err
+	}
+
+	var asRows []string
+	for _, row := range l.Fig9().Rows {
+		asRows = append(asRows, fmt.Sprintf("%q,%d,%g,%g,%d,%d",
+			row.Stat.AS.Name, row.Stat.AS.ASN, row.Stat.MeanReplicas, row.Stat.StdReplicas,
+			row.Stat.IP24s, row.OpenPorts))
+	}
+	if err := write("fig9_top_ases.csv", "as,asn,mean_replicas,std,ip24s,open_ports", asRows); err != nil {
+		return written, err
+	}
+	return written, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"anycastmap/internal/census"
+	"anycastmap/internal/core"
+	"anycastmap/internal/hitlist"
+)
+
+// LongitudinalResult is the Sec. 5 "longitudinal view" extension: periodic
+// censuses against the evolving anycast landscape, tracking how the
+// detected footprint changes over time.
+type LongitudinalResult struct {
+	Epochs []LongitudinalEpoch
+}
+
+// LongitudinalEpoch is the census outcome for one period.
+type LongitudinalEpoch struct {
+	Epoch        uint64
+	TrueReplicas int
+	Detected24s  int
+	Replicas     int
+	// NewCities / LostCities count the churn of the measured city set
+	// relative to the previous epoch.
+	NewCities, LostCities int
+}
+
+// Longitudinal runs one census per epoch against the evolving world. It is
+// intentionally lighter than the full lab: a single census of vps vantage
+// points per epoch.
+func (l *Lab) Longitudinal(epochs int, vps int) LongitudinalResult {
+	res := LongitudinalResult{}
+	prevCities := map[string]bool{}
+	for e := 0; e < epochs; e++ {
+		world := l.World
+		if e > 0 {
+			world = l.World.Evolve(uint64(e))
+		}
+		h := hitlist.FromWorld(world).PruneNeverAlive()
+		sample := l.PL.Sample(vps, l.Config.Seed+100+uint64(e))
+		run := census.Execute(world, sample, h, nil, uint64(50+e), census.Config{Seed: l.Config.Seed})
+		combined, err := census.Combine(run)
+		if err != nil {
+			panic(fmt.Sprintf("longitudinal: %v", err))
+		}
+		outcomes := census.AnalyzeAll(l.Cities, combined, core.Options{}, 2, 0)
+
+		ep := LongitudinalEpoch{Epoch: uint64(e)}
+		for _, d := range world.Deployments() {
+			ep.TrueReplicas += len(d.Replicas)
+		}
+		cities := map[string]bool{}
+		for _, o := range outcomes {
+			ep.Detected24s++
+			ep.Replicas += o.Result.Count()
+			for _, c := range o.Result.Cities() {
+				cities[c] = true
+			}
+		}
+		for c := range cities {
+			if !prevCities[c] {
+				ep.NewCities++
+			}
+		}
+		for c := range prevCities {
+			if !cities[c] {
+				ep.LostCities++
+			}
+		}
+		if e == 0 {
+			ep.NewCities, ep.LostCities = 0, 0
+		}
+		prevCities = cities
+		res.Epochs = append(res.Epochs, ep)
+	}
+	return res
+}
+
+// Report renders the time series.
+func (r LongitudinalResult) Report() string {
+	var b strings.Builder
+	b.WriteString("Extension - longitudinal view (Sec. 5): periodic censuses over the evolving landscape\n")
+	for _, e := range r.Epochs {
+		fmt.Fprintf(&b, "  epoch %d: truth %6d replicas; detected %4d /24s, %6d replicas; city churn +%d/-%d\n",
+			e.Epoch, e.TrueReplicas, e.Detected24s, e.Replicas, e.NewCities, e.LostCities)
+	}
+	b.WriteString("  (the landscape mostly grows; a running census tracks the drift census over census)\n")
+	return b.String()
+}

@@ -1,0 +1,200 @@
+// Package geo implements the spherical geometry underlying latency-based
+// anycast detection: great-circle distances, the mapping from round-trip
+// times to disks on the Earth's surface, and disk overlap tests.
+//
+// The central primitive of the paper's technique (Fig. 3 of Cicalese et al.,
+// CoNEXT 2015) is the observation that a round-trip time RTT measured from a
+// vantage point bounds the probed replica inside a disk centred at the
+// vantage point whose radius is the distance light can travel in fiber in
+// RTT/2. Two disjoint disks for the same target are a speed-of-light
+// violation and therefore prove the target is anycast.
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+const (
+	// EarthRadiusKm is the mean Earth radius used for great-circle
+	// computations.
+	EarthRadiusKm = 6371.0
+
+	// SpeedOfLightKmPerMs is the speed of light in vacuum, in km per
+	// millisecond.
+	SpeedOfLightKmPerMs = 299.792458
+
+	// FiberSpeedKmPerMs is the propagation speed of light in optical
+	// fiber, conventionally taken as 2/3 of the speed of light in vacuum
+	// (refraction index ~1.5). This is the constant used to convert
+	// latency into an upper bound on geographic distance.
+	FiberSpeedKmPerMs = SpeedOfLightKmPerMs * 2.0 / 3.0
+
+	// MaxSurfaceDistanceKm is half the Earth's circumference: no two
+	// points on the surface are farther apart than this.
+	MaxSurfaceDistanceKm = math.Pi * EarthRadiusKm
+)
+
+// Coord is a geographic coordinate in decimal degrees.
+type Coord struct {
+	Lat float64 // latitude, -90..90
+	Lon float64 // longitude, -180..180
+}
+
+// Valid reports whether the coordinate lies in the legal lat/lon ranges.
+func (c Coord) Valid() bool {
+	return c.Lat >= -90 && c.Lat <= 90 && c.Lon >= -180 && c.Lon <= 180 &&
+		!math.IsNaN(c.Lat) && !math.IsNaN(c.Lon)
+}
+
+func (c Coord) String() string {
+	return fmt.Sprintf("(%.4f, %.4f)", c.Lat, c.Lon)
+}
+
+func deg2rad(d float64) float64 { return d * math.Pi / 180 }
+func rad2deg(r float64) float64 { return r * 180 / math.Pi }
+
+// DistanceKm returns the great-circle distance between a and b in km,
+// computed with the haversine formula.
+func DistanceKm(a, b Coord) float64 {
+	la1, lo1 := deg2rad(a.Lat), deg2rad(a.Lon)
+	la2, lo2 := deg2rad(b.Lat), deg2rad(b.Lon)
+	dLat := la2 - la1
+	dLon := lo2 - lo1
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	// Clamp to guard against floating-point drift beyond [0,1].
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// PropagationRTT returns the round-trip time light in fiber needs to cover
+// the great-circle distance between a and b and back. It is the physical
+// lower bound for any RTT measured between the two points.
+func PropagationRTT(a, b Coord) time.Duration {
+	distKm := DistanceKm(a, b)
+	ms := 2 * distKm / FiberSpeedKmPerMs
+	// Round up: the result is a physical lower bound, so truncating to an
+	// integer number of nanoseconds must never make it optimistic.
+	return time.Duration(math.Ceil(ms * float64(time.Millisecond)))
+}
+
+// RTTToRadiusKm converts a measured round-trip time into the maximum
+// distance the probed host can be from the vantage point: the one-way
+// propagation budget RTT/2 travelled at fiber speed.
+func RTTToRadiusKm(rtt time.Duration) float64 {
+	ms := float64(rtt) / float64(time.Millisecond)
+	return ms / 2 * FiberSpeedKmPerMs
+}
+
+// Disk is a closed disk on the Earth's surface, the geometric object a
+// latency sample is mapped to.
+type Disk struct {
+	Center   Coord
+	RadiusKm float64
+}
+
+// DiskFromRTT maps a latency sample taken at vantage point vp to the disk
+// that must contain the replica which answered the probe.
+func DiskFromRTT(vp Coord, rtt time.Duration) Disk {
+	r := RTTToRadiusKm(rtt)
+	if r > MaxSurfaceDistanceKm {
+		r = MaxSurfaceDistanceKm
+	}
+	return Disk{Center: vp, RadiusKm: r}
+}
+
+// Contains reports whether point p lies inside the disk (boundary included).
+func (d Disk) Contains(p Coord) bool {
+	return DistanceKm(d.Center, p) <= d.RadiusKm+1e-9
+}
+
+// Overlaps reports whether the two disks intersect. Two disks on the sphere
+// intersect iff the great-circle distance between their centers does not
+// exceed the sum of their radii.
+func (d Disk) Overlaps(o Disk) bool {
+	return DistanceKm(d.Center, o.Center) <= d.RadiusKm+o.RadiusKm+1e-9
+}
+
+// Degenerate reports whether the disk has (numerically) zero radius; disks
+// are collapsed to a point once their replica has been geolocated, in the
+// iterative step of the enumeration algorithm.
+func (d Disk) Degenerate() bool { return d.RadiusKm <= 1e-9 }
+
+func (d Disk) String() string {
+	return fmt.Sprintf("disk[%v r=%.0fkm]", d.Center, d.RadiusKm)
+}
+
+// Destination returns the point reached by travelling distKm from start
+// along the given initial bearing (degrees clockwise from north). It is used
+// to synthesize host positions around city centers.
+func Destination(start Coord, bearingDeg, distKm float64) Coord {
+	if distKm == 0 {
+		return start
+	}
+	la1 := deg2rad(start.Lat)
+	lo1 := deg2rad(start.Lon)
+	brg := deg2rad(bearingDeg)
+	ad := distKm / EarthRadiusKm // angular distance
+
+	la2 := math.Asin(math.Sin(la1)*math.Cos(ad) + math.Cos(la1)*math.Sin(ad)*math.Cos(brg))
+	lo2 := lo1 + math.Atan2(
+		math.Sin(brg)*math.Sin(ad)*math.Cos(la1),
+		math.Cos(ad)-math.Sin(la1)*math.Sin(la2),
+	)
+	// Normalize longitude to [-180, 180).
+	lon := math.Mod(rad2deg(lo2)+540, 360) - 180
+	return Coord{Lat: rad2deg(la2), Lon: lon}
+}
+
+// Midpoint returns the great-circle midpoint of a and b.
+func Midpoint(a, b Coord) Coord {
+	la1, lo1 := deg2rad(a.Lat), deg2rad(a.Lon)
+	la2, lo2 := deg2rad(b.Lat), deg2rad(b.Lon)
+	dLon := lo2 - lo1
+	bx := math.Cos(la2) * math.Cos(dLon)
+	by := math.Cos(la2) * math.Sin(dLon)
+	lat := math.Atan2(math.Sin(la1)+math.Sin(la2),
+		math.Sqrt((math.Cos(la1)+bx)*(math.Cos(la1)+bx)+by*by))
+	lon := lo1 + math.Atan2(by, math.Cos(la1)+bx)
+	return Coord{Lat: rad2deg(lat), Lon: math.Mod(rad2deg(lon)+540, 360) - 180}
+}
+
+// ErrInvalidCoord is returned by constructors that validate coordinates.
+var ErrInvalidCoord = errors.New("geo: invalid coordinate")
+
+// NewCoord validates and returns a coordinate.
+func NewCoord(lat, lon float64) (Coord, error) {
+	c := Coord{Lat: lat, Lon: lon}
+	if !c.Valid() {
+		return Coord{}, fmt.Errorf("%w: lat=%v lon=%v", ErrInvalidCoord, lat, lon)
+	}
+	return c, nil
+}
+
+// InitialBearing returns the initial great-circle bearing from a toward b,
+// in degrees clockwise from north.
+func InitialBearing(a, b Coord) float64 {
+	la1, lo1 := deg2rad(a.Lat), deg2rad(a.Lon)
+	la2, lo2 := deg2rad(b.Lat), deg2rad(b.Lon)
+	dLon := lo2 - lo1
+	y := math.Sin(dLon) * math.Cos(la2)
+	x := math.Cos(la1)*math.Sin(la2) - math.Sin(la1)*math.Cos(la2)*math.Cos(dLon)
+	brg := rad2deg(math.Atan2(y, x))
+	return math.Mod(brg+360, 360)
+}
+
+// Interpolate returns the point at fraction frac (0..1) along the great
+// circle from a to b. Fractions outside [0, 1] extrapolate along the same
+// circle.
+func Interpolate(a, b Coord, frac float64) Coord {
+	d := DistanceKm(a, b)
+	if d == 0 {
+		return a
+	}
+	return Destination(a, InitialBearing(a, b), d*frac)
+}

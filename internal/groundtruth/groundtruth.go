@@ -1,0 +1,177 @@
+// Package groundtruth reproduces the validation methodology of Sec. 3.4:
+// for CDNs that disclose the location of the answering replica in their
+// HTTP response headers - CloudFlare's CF-RAY and EdgeCast's standard
+// Server field - curl requests from every vantage point build a measured
+// ground truth (GT) per /24. The publicly available information (PAI) on
+// the operators' websites lists the full set of locations and is a
+// superset of what any probing platform can see. Geolocation output is
+// scored against GT by city-level true-positive rate and by the
+// great-circle error of misclassifications.
+package groundtruth
+
+import (
+	"sort"
+
+	"anycastmap/internal/cities"
+	"anycastmap/internal/core"
+	"anycastmap/internal/geo"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/stats"
+)
+
+// headerStyles lists the AS deployments that disclose replica locations in
+// HTTP headers, and which header carries it.
+var headerStyles = map[string]string{
+	"CLOUDFLARENET,US": "CF-RAY",
+	"EDGECAST,US":      "Server",
+}
+
+// Discloses reports whether the named AS exposes per-replica geolocation
+// over HTTP, and through which header.
+func Discloses(asName string) (header string, ok bool) {
+	header, ok = headerStyles[asName]
+	return header, ok
+}
+
+// GT is the measured ground truth for one /24: the set of replica cities
+// observed serving the probing platform's vantage points.
+type GT struct {
+	Prefix netsim.Prefix24
+	Cities map[string]cities.City // key() -> city
+}
+
+// Collect issues the curl-style requests of Sec. 3.4 from every vantage
+// point toward the prefix and decodes the location header. It returns
+// ok=false when the deployment does not disclose locations (no
+// CF-RAY/Server header) - notably, such HTTP measurements are not possible
+// from RIPE Atlas, only from PlanetLab.
+func Collect(w *netsim.World, vps []platform.VP, p netsim.Prefix24, round uint64) (GT, bool) {
+	d, isAnycast := w.Deployment(p)
+	if !isAnycast {
+		return GT{}, false
+	}
+	as, ok := w.Registry.ByASN(d.ASN)
+	if !ok {
+		return GT{}, false
+	}
+	if _, discloses := Discloses(as.Name); !discloses {
+		return GT{}, false
+	}
+	set, hasSvc := w.Services.ByASN(d.ASN)
+	if !hasSvc || !set.Open(80) {
+		return GT{}, false
+	}
+	gt := GT{Prefix: p, Cities: make(map[string]cities.City)}
+	target, _ := w.Representative(p)
+	for _, vp := range vps {
+		// The HTTP request reaches whichever replica BGP routes this VP
+		// to; its header discloses the serving city.
+		if !w.ProbeTCP(vp, target, 80, round).OK() {
+			continue
+		}
+		if r, ok := w.ServingReplica(vp, p, round); ok {
+			gt.Cities[r.City.Key()] = r.City
+		}
+	}
+	return gt, true
+}
+
+// PAI returns the publicly available information for an AS: the full list
+// of replica cities across all its deployments, as published on the
+// operator's website. It is a superset of any measured GT.
+func PAI(w *netsim.World, asn int) map[string]cities.City {
+	out := make(map[string]cities.City)
+	for _, d := range w.DeploymentsByASN(asn) {
+		for _, r := range d.Replicas {
+			out[r.City.Key()] = r.City
+		}
+	}
+	return out
+}
+
+// PrefixValidation scores one /24's geolocation result against its GT.
+type PrefixValidation struct {
+	Prefix netsim.Prefix24
+	// Located is the number of replicas the analysis geolocated.
+	Located int
+	// Matched is how many of those agree with the GT at city level.
+	Matched int
+	// ErrsKm lists, for each misclassified replica, the great-circle
+	// distance from the classified city to the nearest GT city.
+	ErrsKm []float64
+	// GTCities and PAICities size the measured and published footprints.
+	GTCities, PAICities int
+}
+
+// TPR returns the city-level true-positive rate for the prefix.
+func (v PrefixValidation) TPR() float64 {
+	if v.Located == 0 {
+		return 0
+	}
+	return float64(v.Matched) / float64(v.Located)
+}
+
+// ValidatePrefix compares the analysis result of one /24 with its measured
+// ground truth.
+func ValidatePrefix(res core.Result, gt GT, paiCities int) PrefixValidation {
+	v := PrefixValidation{Prefix: gt.Prefix, GTCities: len(gt.Cities), PAICities: paiCities}
+	for _, rep := range res.Replicas {
+		if !rep.Located {
+			continue
+		}
+		v.Located++
+		if _, ok := gt.Cities[rep.City.Key()]; ok {
+			v.Matched++
+			continue
+		}
+		best := geo.MaxSurfaceDistanceKm
+		for _, c := range gt.Cities {
+			if d := geo.DistanceKm(rep.City.Loc, c.Loc); d < best {
+				best = d
+			}
+		}
+		v.ErrsKm = append(v.ErrsKm, best)
+	}
+	return v
+}
+
+// Summary aggregates the per-/24 validations of one AS (the Fig. 7 bars).
+type Summary struct {
+	// MeanTPR and StdTPR summarize the per-/24 city-level agreement.
+	MeanTPR, StdTPR float64
+	// MedianErrKm is the median geolocation error over every
+	// misclassified replica of the AS.
+	MedianErrKm float64
+	// MeanGTOverPAI and StdGTOverPAI summarize which fraction of the
+	// published footprint the platform could see at all.
+	MeanGTOverPAI, StdGTOverPAI float64
+	// Prefixes is the number of /24s validated.
+	Prefixes int
+}
+
+// Summarize aggregates prefix validations.
+func Summarize(vs []PrefixValidation) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
+	var tprs, ratios, errs []float64
+	for _, v := range vs {
+		if v.Located > 0 {
+			tprs = append(tprs, v.TPR())
+		}
+		if v.PAICities > 0 {
+			ratios = append(ratios, float64(v.GTCities)/float64(v.PAICities))
+		}
+		errs = append(errs, v.ErrsKm...)
+	}
+	sort.Float64s(errs)
+	return Summary{
+		MeanTPR:       stats.Mean(tprs),
+		StdTPR:        stats.StdDev(tprs),
+		MedianErrKm:   stats.Median(errs),
+		MeanGTOverPAI: stats.Mean(ratios),
+		StdGTOverPAI:  stats.StdDev(ratios),
+		Prefixes:      len(vs),
+	}
+}

@@ -1,0 +1,156 @@
+package groundtruth
+
+import (
+	"sync"
+	"testing"
+
+	"anycastmap/internal/cities"
+	"anycastmap/internal/core"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+)
+
+var (
+	once sync.Once
+	w    *netsim.World
+	pl   *platform.Platform
+)
+
+func testbed(t *testing.T) (*netsim.World, *platform.Platform) {
+	t.Helper()
+	once.Do(func() {
+		cfg := netsim.DefaultConfig()
+		cfg.Unicast24s = 2000
+		w = netsim.New(cfg)
+		pl = platform.PlanetLab(cities.Default())
+	})
+	return w, pl
+}
+
+func TestDiscloses(t *testing.T) {
+	if h, ok := Discloses("CLOUDFLARENET,US"); !ok || h != "CF-RAY" {
+		t.Errorf("CloudFlare header = %q,%v", h, ok)
+	}
+	if h, ok := Discloses("EDGECAST,US"); !ok || h != "Server" {
+		t.Errorf("EdgeCast header = %q,%v", h, ok)
+	}
+	if _, ok := Discloses("GOOGLE,US"); ok {
+		t.Error("Google should not disclose via headers in this model")
+	}
+}
+
+func TestCollectCloudFlare(t *testing.T) {
+	w, pl := testbed(t)
+	cf := w.Registry.MustByName("CLOUDFLARENET,US")
+	p := w.DeploymentsByASN(cf.ASN)[0].Prefix
+	gt, ok := Collect(w, pl.VPs(), p, 0)
+	if !ok {
+		t.Fatal("CloudFlare GT collection failed")
+	}
+	if len(gt.Cities) < 5 {
+		t.Errorf("GT saw only %d cities", len(gt.Cities))
+	}
+	// GT is a subset of PAI.
+	pai := PAI(w, cf.ASN)
+	for k := range gt.Cities {
+		if _, ok := pai[k]; !ok {
+			t.Errorf("GT city %s not in PAI", k)
+		}
+	}
+	if len(gt.Cities) > len(pai) {
+		t.Error("GT larger than PAI")
+	}
+}
+
+func TestCollectRefusals(t *testing.T) {
+	w, pl := testbed(t)
+	// A non-disclosing AS.
+	gg := w.Registry.MustByName("GOOGLE,US")
+	if _, ok := Collect(w, pl.VPs(), w.DeploymentsByASN(gg.ASN)[0].Prefix, 0); ok {
+		t.Error("Collect succeeded for a non-disclosing AS")
+	}
+	// A unicast prefix.
+	found := false
+	w.Prefixes(func(p netsim.Prefix24) {
+		if found || w.IsAnycast(p) {
+			return
+		}
+		found = true
+		if _, ok := Collect(w, pl.VPs(), p, 0); ok {
+			t.Error("Collect succeeded for a unicast prefix")
+		}
+	})
+}
+
+func TestValidatePrefixScoring(t *testing.T) {
+	db := cities.Default()
+	ams := db.MustByName("Amsterdam", "NL")
+	fra := db.MustByName("Frankfurt", "DE")
+	lon := db.MustByName("London", "GB")
+	gt := GT{Cities: map[string]cities.City{ams.Key(): ams, fra.Key(): fra}}
+	res := core.Result{
+		Anycast: true,
+		Replicas: []core.GeoReplica{
+			{Located: true, City: ams}, // match
+			{Located: true, City: lon}, // miss, ~360 km from Amsterdam
+			{Located: false},           // unlocated: not scored
+		},
+	}
+	v := ValidatePrefix(res, gt, 4)
+	if v.Located != 2 || v.Matched != 1 {
+		t.Fatalf("located=%d matched=%d", v.Located, v.Matched)
+	}
+	if v.TPR() != 0.5 {
+		t.Errorf("TPR = %v", v.TPR())
+	}
+	if len(v.ErrsKm) != 1 || v.ErrsKm[0] < 300 || v.ErrsKm[0] > 420 {
+		t.Errorf("errors = %v, want one ~360 km entry", v.ErrsKm)
+	}
+	if v.GTCities != 2 || v.PAICities != 4 {
+		t.Error("footprint sizes wrong")
+	}
+}
+
+func TestValidateEmptyResult(t *testing.T) {
+	v := ValidatePrefix(core.Result{}, GT{Cities: map[string]cities.City{}}, 3)
+	if v.TPR() != 0 || v.Located != 0 {
+		t.Error("empty result should score zero")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	vs := []PrefixValidation{
+		{Located: 4, Matched: 3, ErrsKm: []float64{100}, GTCities: 3, PAICities: 4},
+		{Located: 2, Matched: 2, GTCities: 2, PAICities: 4},
+		{Located: 5, Matched: 2, ErrsKm: []float64{300, 500, 700}, GTCities: 4, PAICities: 8},
+	}
+	s := Summarize(vs)
+	if s.Prefixes != 3 {
+		t.Error("prefix count wrong")
+	}
+	if s.MeanTPR < 0.68 || s.MeanTPR > 0.72 {
+		t.Errorf("MeanTPR = %v, want ~0.7167*... check", s.MeanTPR)
+	}
+	if s.MedianErrKm != 400 {
+		t.Errorf("MedianErrKm = %v, want 400", s.MedianErrKm)
+	}
+	if s.MeanGTOverPAI <= 0 || s.MeanGTOverPAI > 1 {
+		t.Errorf("GT/PAI = %v", s.MeanGTOverPAI)
+	}
+	if got := Summarize(nil); got.Prefixes != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestPAICoversAllASDeployments(t *testing.T) {
+	w, _ := testbed(t)
+	ec := w.Registry.MustByName("EDGECAST,US")
+	pai := PAI(w, ec.ASN)
+	for _, d := range w.DeploymentsByASN(ec.ASN) {
+		for _, r := range d.Replicas {
+			if _, ok := pai[r.City.Key()]; !ok {
+				t.Fatalf("PAI missing %v", r.City)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package hitlist
+
+import (
+	"testing"
+
+	"anycastmap/internal/netsim"
+)
+
+func smallWorld() *netsim.World {
+	cfg := netsim.DefaultConfig()
+	cfg.Unicast24s = 4000
+	return netsim.New(cfg)
+}
+
+func TestFromWorldCoverage(t *testing.T) {
+	w := smallWorld()
+	h := FromWorld(w)
+	total := w.NumPrefixes()
+	if h.Len() < total-10 || h.Len() > total {
+		t.Errorf("hitlist has %d entries for %d prefixes, want ~99.99%% coverage", h.Len(), total)
+	}
+}
+
+func TestEntriesSortedAndConsistent(t *testing.T) {
+	w := smallWorld()
+	h := FromWorld(w)
+	for i, e := range h.Entries() {
+		if e.IP.Prefix() != e.Prefix {
+			t.Fatalf("entry %d: IP %v outside prefix %v", i, e.IP, e.Prefix)
+		}
+		if i > 0 && e.Prefix <= h.Entries()[i-1].Prefix {
+			t.Fatal("entries not sorted by prefix")
+		}
+		if e.Score == 0 || e.Score == -1 {
+			t.Fatalf("entry %d has invalid score %d (never-alive entries score <= -2)", i, e.Score)
+		}
+	}
+}
+
+func TestPruneNeverAlive(t *testing.T) {
+	w := smallWorld()
+	full := FromWorld(w)
+	pruned := full.PruneNeverAlive()
+	// Paper: 6.6M of 10.6M targets survive pruning (~62%). Anycast
+	// prefixes are always alive, so measure the ratio over the unicast
+	// background (the test world is small enough that anycast would skew
+	// it).
+	uniFull, uniKept := 0, 0
+	for _, e := range full.Entries() {
+		if w.IsAnycast(e.Prefix) {
+			continue
+		}
+		uniFull++
+		if e.EverAlive() {
+			uniKept++
+		}
+	}
+	ratio := float64(uniKept) / float64(uniFull)
+	if ratio < 0.56 || ratio > 0.68 {
+		t.Errorf("pruning kept %.2f of the unicast hitlist, want ~0.62", ratio)
+	}
+	if pruned.Len() >= full.Len() {
+		t.Error("pruning removed nothing")
+	}
+	for _, e := range pruned.Entries() {
+		if !e.EverAlive() {
+			t.Fatal("pruned hitlist still contains never-alive entries")
+		}
+	}
+}
+
+func TestAnycastAlwaysSurvivesPruning(t *testing.T) {
+	w := smallWorld()
+	pruned := FromWorld(w).PruneNeverAlive()
+	missing := 0
+	for _, d := range w.Deployments() {
+		if !pruned.Covers(d.Prefix) {
+			missing++
+		}
+	}
+	// Only the 0.01% coverage gap may lose anycast prefixes.
+	if missing > 3 {
+		t.Errorf("%d anycast /24s missing from the pruned hitlist", missing)
+	}
+}
+
+func TestLookupAndCovers(t *testing.T) {
+	w := smallWorld()
+	h := FromWorld(w)
+	e := h.Entries()[17]
+	got, ok := h.Lookup(e.IP)
+	if !ok || got != e {
+		t.Error("Lookup failed for an existing entry")
+	}
+	if _, ok := h.Lookup(netsim.IP(1)); ok {
+		t.Error("Lookup hit for a bogus address")
+	}
+	if !h.Covers(e.Prefix) {
+		t.Error("Covers false for an existing prefix")
+	}
+	if h.Covers(netsim.Prefix24(3)) {
+		t.Error("Covers true for an unallocated prefix")
+	}
+}
+
+func TestWithout(t *testing.T) {
+	w := smallWorld()
+	h := FromWorld(w)
+	bl := map[netsim.IP]bool{
+		h.Entries()[0].IP: true,
+		h.Entries()[5].IP: true,
+	}
+	h2 := h.Without(bl)
+	if h2.Len() != h.Len()-2 {
+		t.Errorf("Without removed %d entries, want 2", h.Len()-h2.Len())
+	}
+	for ip := range bl {
+		if _, ok := h2.Lookup(ip); ok {
+			t.Error("blacklisted target still present")
+		}
+	}
+	if h.Without(nil) != h {
+		t.Error("Without(nil) should return the receiver")
+	}
+}
+
+func TestTargets(t *testing.T) {
+	w := smallWorld()
+	h := FromWorld(w)
+	ts := h.Targets()
+	if len(ts) != h.Len() {
+		t.Fatal("Targets length mismatch")
+	}
+	for i, ip := range ts {
+		if ip != h.Entries()[i].IP {
+			t.Fatal("Targets order mismatch")
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	w := smallWorld()
+	a, b := FromWorld(w), FromWorld(w)
+	if a.Len() != b.Len() {
+		t.Fatal("length differs")
+	}
+	for i := range a.Entries() {
+		if a.Entries()[i] != b.Entries()[i] {
+			t.Fatal("entries differ between builds")
+		}
+	}
+}

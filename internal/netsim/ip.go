@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IP is an IPv4 address as a big-endian 32-bit integer.
+type IP uint32
+
+// String formats the address in dotted-quad notation.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Prefix returns the /24 containing the address.
+func (ip IP) Prefix() Prefix24 { return Prefix24(ip >> 8) }
+
+// HostByte returns the low 8 bits, the host part within the /24.
+func (ip IP) HostByte() byte { return byte(ip) }
+
+// ParseIP parses a dotted-quad IPv4 address.
+func ParseIP(s string) (IP, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netsim: bad IPv4 address %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("netsim: bad IPv4 octet %q in %q", p, s)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return IP(ip), nil
+}
+
+// Prefix24 identifies a /24 subnet by its top 24 bits: the census
+// granularity of the paper (Sec. 3.1: BGP practice ignores prefixes longer
+// than /24, so one representative address per /24 covers the whole
+// anycast-visible address space).
+type Prefix24 uint32
+
+// String formats the prefix in CIDR notation.
+func (p Prefix24) String() string {
+	return fmt.Sprintf("%d.%d.%d.0/24", byte(p>>16), byte(p>>8), byte(p))
+}
+
+// Contains reports whether ip belongs to the /24.
+func (p Prefix24) Contains(ip IP) bool { return ip.Prefix() == p }
+
+// Host returns the address with the given host byte inside the /24.
+func (p Prefix24) Host(b byte) IP { return IP(uint32(p)<<8 | uint32(b)) }
+
+// ParsePrefix24 parses "a.b.c.0/24" (or any in-prefix address with the /24
+// suffix) into a Prefix24.
+func ParsePrefix24(s string) (Prefix24, error) {
+	base, ok := strings.CutSuffix(s, "/24")
+	if !ok {
+		return 0, fmt.Errorf("netsim: prefix %q does not end in /24", s)
+	}
+	ip, err := ParseIP(base)
+	if err != nil {
+		return 0, err
+	}
+	return ip.Prefix(), nil
+}

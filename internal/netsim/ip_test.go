@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIPString(t *testing.T) {
+	cases := map[IP]string{
+		0:                            "0.0.0.0",
+		0x01020304:                   "1.2.3.4",
+		0xFFFFFFFF:                   "255.255.255.255",
+		IP(8<<24 | 8<<16 | 8<<8 | 8): "8.8.8.8",
+	}
+	for ip, want := range cases {
+		if got := ip.String(); got != want {
+			t.Errorf("IP(%#x).String() = %q, want %q", uint32(ip), got, want)
+		}
+	}
+}
+
+func TestParseIPRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IP(v)
+		back, err := ParseIP(ip.String())
+		return err == nil && back == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIPErrors(t *testing.T) {
+	for _, bad := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1.2.3.-4"} {
+		if _, err := ParseIP(bad); err == nil {
+			t.Errorf("ParseIP(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestPrefix24(t *testing.T) {
+	ip, _ := ParseIP("192.168.7.33")
+	p := ip.Prefix()
+	if p.String() != "192.168.7.0/24" {
+		t.Errorf("prefix = %q", p.String())
+	}
+	if !p.Contains(ip) {
+		t.Error("prefix should contain its member")
+	}
+	other, _ := ParseIP("192.168.8.33")
+	if p.Contains(other) {
+		t.Error("prefix should not contain neighbor /24 address")
+	}
+	if got := p.Host(1).String(); got != "192.168.7.1" {
+		t.Errorf("Host(1) = %q", got)
+	}
+	if ip.HostByte() != 33 {
+		t.Errorf("HostByte = %d", ip.HostByte())
+	}
+}
+
+func TestParsePrefix24(t *testing.T) {
+	p, err := ParsePrefix24("10.1.2.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "10.1.2.0/24" {
+		t.Errorf("round trip = %q", p.String())
+	}
+	// An in-prefix address normalizes to the /24.
+	p2, err := ParsePrefix24("10.1.2.77/24")
+	if err != nil || p2 != p {
+		t.Errorf("ParsePrefix24 of member address = %v, %v", p2, err)
+	}
+	for _, bad := range []string{"10.1.2.0", "10.1.2.0/16", "x/24"} {
+		if _, err := ParsePrefix24(bad); err == nil {
+			t.Errorf("ParsePrefix24(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestPrefixHostRoundTrip(t *testing.T) {
+	f := func(v uint32, b byte) bool {
+		p := Prefix24(v & 0xFFFFFF)
+		ip := p.Host(b)
+		return ip.Prefix() == p && ip.HostByte() == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

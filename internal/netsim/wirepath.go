@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"fmt"
+
+	"anycastmap/internal/detrand"
+
+	"anycastmap/internal/platform"
+	"anycastmap/internal/wire"
+)
+
+// ExchangeICMP performs one probe at the packet level: it builds the IPv4 +
+// ICMP echo request Fastping would emit (census signature included),
+// simulates the exchange, and returns the raw reply datagram - an echo
+// reply from the target, a type-3 error from a router, or nil on timeout.
+// The RTT the caller would clock is returned alongside.
+//
+// The fast path (ProbeICMP) and this wire path are behaviourally identical;
+// the prober's wire mode uses this one so the whole measurement loop
+// exercises real packet parsing.
+func (w *World) ExchangeICMP(vp platform.VP, src, target IP, id, seq uint16, round uint64) (replyPkt []byte, reply Reply, err error) {
+	req, err := wire.BuildEchoRequest(uint32(src), uint32(target), id, seq)
+	if err != nil {
+		return nil, Reply{}, fmt.Errorf("netsim: build probe: %w", err)
+	}
+	reply = w.ProbeICMP(vp, target, round)
+	switch reply.Kind {
+	case ReplyTimeout:
+		return nil, reply, nil
+	case ReplyEcho:
+		pkt, err := wire.BuildEchoReply(req)
+		if err != nil {
+			return nil, Reply{}, fmt.Errorf("netsim: build reply: %w", err)
+		}
+		return pkt, reply, nil
+	default:
+		var code uint8
+		switch reply.Kind {
+		case ReplyAdminFiltered:
+			code = wire.CodeAdminFiltered
+		case ReplyHostProhibited:
+			code = wire.CodeHostProhibited
+		case ReplyNetProhibited:
+			code = wire.CodeNetProhibited
+		}
+		// The error originates at the last router before the target.
+		router := target.Prefix().Host(254)
+		pkt, err := wire.BuildAdminProhibited(uint32(router), code, req)
+		if err != nil {
+			return nil, Reply{}, fmt.Errorf("netsim: build error: %w", err)
+		}
+		return pkt, reply, nil
+	}
+}
+
+// greylistKindOf maps a parsed ICMP error to the simulator's reply kind,
+// or ok=false when the message is not a greylistable error.
+func greylistKindOf(msg wire.ICMPMessage) (ReplyKind, bool) {
+	if msg.Type != wire.ICMPDestUnreach {
+		return 0, false
+	}
+	switch msg.Code {
+	case wire.CodeAdminFiltered:
+		return ReplyAdminFiltered, true
+	case wire.CodeHostProhibited:
+		return ReplyHostProhibited, true
+	case wire.CodeNetProhibited:
+		return ReplyNetProhibited, true
+	}
+	return 0, false
+}
+
+// DecodeICMPReply parses a raw reply datagram back into the simulator's
+// Reply classification; it is the receiving half of the prober's wire mode.
+// A nil packet is a timeout.
+func DecodeICMPReply(pkt []byte) (Reply, error) {
+	if pkt == nil {
+		return Reply{Kind: ReplyTimeout}, nil
+	}
+	_, payload, err := wire.ParseIPv4(pkt)
+	if err != nil {
+		return Reply{}, err
+	}
+	msg, err := wire.ParseICMP(payload)
+	if err != nil {
+		return Reply{}, err
+	}
+	if msg.Echo != nil && msg.Echo.Reply {
+		return Reply{Kind: ReplyEcho}, nil
+	}
+	if kind, ok := greylistKindOf(msg); ok {
+		return Reply{Kind: kind}, nil
+	}
+	return Reply{}, fmt.Errorf("netsim: unexpected ICMP type %d code %d", msg.Type, msg.Code)
+}
+
+// ExchangeTCPSYN performs one portscan probe at the packet level: it builds
+// the SYN segment nmap would send and returns the raw response - a SYN-ACK
+// datagram when the port answers, or nil when the probe is filtered or the
+// host silent (the common case on the open Internet, where closed ports
+// rarely RST back through the firewalls in between).
+func (w *World) ExchangeTCPSYN(vp platform.VP, src, target IP, srcPort, dstPort uint16, round uint64) (respPkt []byte, reply Reply, err error) {
+	seq := uint32(detrand.Hash64(w.cfg.Seed, uint64(vp.ID), uint64(target), uint64(dstPort)))
+	syn, err := wire.BuildSYN(uint32(src), uint32(target), srcPort, dstPort, seq)
+	if err != nil {
+		return nil, Reply{}, fmt.Errorf("netsim: build SYN: %w", err)
+	}
+	reply = w.ProbeTCP(vp, target, dstPort, round)
+	if !reply.OK() {
+		return nil, reply, nil
+	}
+	pkt, err := wire.BuildSYNACKResponse(syn, true, seq+1000)
+	if err != nil {
+		return nil, Reply{}, fmt.Errorf("netsim: build SYN-ACK: %w", err)
+	}
+	return pkt, reply, nil
+}

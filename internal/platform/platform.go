@@ -1,0 +1,314 @@
+// Package platform models the measurement platforms of the paper: a
+// PlanetLab-like platform of ~300 vantage points hosted at academic sites
+// (skewed toward North America and Europe), and a larger RIPE-Atlas-like
+// platform with broader geographic coverage. The platform choice drives the
+// recall of the census (Fig. 5: PlanetLab finds a subset of the replicas
+// RIPE finds) and the per-VP completion-time distribution (Fig. 8).
+package platform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"anycastmap/internal/cities"
+	"anycastmap/internal/detrand"
+	"anycastmap/internal/geo"
+)
+
+// VP is a vantage point: a host we control that can send probes.
+type VP struct {
+	ID   int
+	Name string
+	City cities.City
+	// Loc is the actual host location, jittered a few tens of km around
+	// the site city.
+	Loc geo.Coord
+	// LoadFactor models how slowly this (shared, oversubscribed) host
+	// runs relative to an idle one; census completion time scales with
+	// it. PlanetLab hosts have a heavy-tailed load distribution
+	// (Sec. 3.5: 95% of nodes finish in under 5 hours, stragglers take
+	// much longer).
+	LoadFactor float64
+}
+
+func (v VP) String() string { return fmt.Sprintf("%s@%s", v.Name, v.City) }
+
+// Platform is an immutable set of vantage points.
+type Platform struct {
+	name string
+	vps  []VP
+}
+
+// Name returns the platform name ("planetlab" or "ripe").
+func (p *Platform) Name() string { return p.name }
+
+// VPs returns all vantage points. The slice must not be modified.
+func (p *Platform) VPs() []VP { return p.vps }
+
+// Len returns the number of vantage points.
+func (p *Platform) Len() int { return len(p.vps) }
+
+// Sample returns a deterministic pseudo-random subset of n vantage points
+// (all of them if n >= Len). Each census run uses a different availability
+// sample, like real PlanetLab where the set of live nodes fluctuates
+// between 240 and 270 (Fig. 12 legend).
+func (p *Platform) Sample(n int, seed uint64) []VP {
+	if n >= len(p.vps) {
+		out := make([]VP, len(p.vps))
+		copy(out, p.vps)
+		return out
+	}
+	idx := make([]int, len(p.vps))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Deterministic Fisher-Yates driven by the seed.
+	for i := len(idx) - 1; i > 0; i-- {
+		j := detrand.Intn(i+1, seed, uint64(i), 0xA11CE)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := make([]VP, n)
+	for i := 0; i < n; i++ {
+		out[i] = p.vps[idx[i]]
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Countries returns the sorted set of country codes hosting VPs.
+func (p *Platform) Countries() []string {
+	set := map[string]bool{}
+	for _, v := range p.vps {
+		set[v.City.CC] = true
+	}
+	out := make([]string, 0, len(set))
+	for cc := range set {
+		out = append(out, cc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// plSite is one PlanetLab hosting site.
+type plSite struct {
+	domain string
+	city   string
+	cc     string
+	nodes  int
+}
+
+// planetLabSites approximates the real PlanetLab deployment footprint:
+// university sites, about half in North America, a dense European cluster,
+// and a thinner tail in Asia, Oceania and South America.
+var planetLabSites = []plSite{
+	// North America.
+	{"cs.princeton.edu", "Princeton", "US", 4},
+	{"csail.mit.edu", "Cambridge", "US", 4},
+	{"cs.berkeley.edu", "Berkeley", "US", 4},
+	{"cs.washington.edu", "Seattle", "US", 4},
+	{"cs.cornell.edu", "Ithaca", "US", 3},
+	{"cs.cmu.edu", "Pittsburgh", "US", 3},
+	{"cs.ucla.edu", "Los Angeles", "US", 3},
+	{"cs.ucsd.edu", "San Diego", "US", 3},
+	{"cs.stanford.edu", "Palo Alto", "US", 3},
+	{"cs.uchicago.edu", "Chicago", "US", 3},
+	{"cs.utexas.edu", "Austin", "US", 3},
+	{"cs.gatech.edu", "Atlanta", "US", 3},
+	{"cs.umd.edu", "Washington", "US", 3},
+	{"cs.colorado.edu", "Boulder", "US", 3},
+	{"cs.uiuc.edu", "Champaign", "US", 3},
+	{"eecs.umich.edu", "Ann Arbor", "US", 3},
+	{"cs.wisc.edu", "Madison", "US", 3},
+	{"cs.duke.edu", "Durham", "US", 3},
+	{"cs.unc.edu", "Raleigh", "US", 3},
+	{"cs.purdue.edu", "Indianapolis", "US", 3},
+	{"cs.umn.edu", "Minneapolis", "US", 3},
+	{"cs.arizona.edu", "Tucson", "US", 3},
+	{"cs.utah.edu", "Salt Lake City", "US", 3},
+	{"cs.rice.edu", "Houston", "US", 3},
+	{"cs.columbia.edu", "New York", "US", 3},
+	{"cs.nyu.edu", "New York", "US", 3},
+	{"cs.bu.edu", "Boston", "US", 3},
+	{"cs.northwestern.edu", "Chicago", "US", 3},
+	{"cs.usc.edu", "Los Angeles", "US", 3},
+	{"cs.uci.edu", "Irvine", "US", 3},
+	{"cs.ucsb.edu", "Santa Barbara", "US", 3},
+	{"cs.rochester.edu", "Rochester", "US", 3},
+	{"cse.osu.edu", "Columbus", "US", 3},
+	{"cs.pitt.edu", "Pittsburgh", "US", 3},
+	{"cs.vt.edu", "Richmond", "US", 3},
+	{"cs.ufl.edu", "Gainesville", "US", 3},
+	{"cs.fiu.edu", "Miami", "US", 3},
+	{"cs.uoregon.edu", "Eugene", "US", 3},
+	{"cs.byu.edu", "Salt Lake City", "US", 3},
+	{"cs.ku.edu", "Lawrence", "US", 3},
+	{"cs.ou.edu", "Norman", "US", 3},
+	{"cs.missouri.edu", "Columbia", "US", 3},
+	{"cs.uiowa.edu", "Iowa City", "US", 3},
+	{"cs.unl.edu", "Lincoln", "US", 3},
+	{"cs.toronto.edu", "Toronto", "CA", 3},
+	{"cs.ubc.ca", "Vancouver", "CA", 3},
+	{"cs.mcgill.ca", "Montreal", "CA", 3},
+	{"cs.uwaterloo.ca", "Hamilton", "CA", 3},
+	{"cs.ualberta.ca", "Edmonton", "CA", 3},
+	{"cs.carleton.ca", "Ottawa", "CA", 3},
+
+	// Europe.
+	{"lip6.fr", "Paris", "FR", 4},
+	{"inria.fr", "Grenoble", "FR", 3},
+	{"irisa.fr", "Rennes", "FR", 3},
+	{"eurecom.fr", "Nice", "FR", 3},
+	{"cs.ucl.ac.uk", "London", "GB", 3},
+	{"cl.cam.ac.uk", "Cambridge", "GB", 3},
+	{"inf.ed.ac.uk", "Edinburgh", "GB", 3},
+	{"cs.ox.ac.uk", "Oxford", "GB", 3},
+	{"lancs.ac.uk", "Manchester", "GB", 3},
+	{"tu-berlin.de", "Berlin", "DE", 3},
+	{"tum.de", "Munich", "DE", 3},
+	{"uni-kl.de", "Frankfurt", "DE", 2},
+	{"rwth-aachen.de", "Aachen", "DE", 2},
+	{"uni-goettingen.de", "Hanover", "DE", 2},
+	{"ethz.ch", "Zurich", "CH", 3},
+	{"epfl.ch", "Lausanne", "CH", 3},
+	{"uniroma1.it", "Rome", "IT", 2},
+	{"polimi.it", "Milan", "IT", 2},
+	{"unipi.it", "Pisa", "IT", 2},
+	{"unina.it", "Naples", "IT", 2},
+	{"upc.edu", "Barcelona", "ES", 2},
+	{"uc3m.es", "Madrid", "ES", 2},
+	{"tudelft.nl", "The Hague", "NL", 2},
+	{"vu.nl", "Amsterdam", "NL", 3},
+	{"ugent.be", "Ghent", "BE", 2},
+	{"ucl.be", "Brussels", "BE", 2},
+	{"kth.se", "Stockholm", "SE", 3},
+	{"sics.se", "Uppsala", "SE", 2},
+	{"uio.no", "Oslo", "NO", 2},
+	{"dtu.dk", "Copenhagen", "DK", 2},
+	{"aalto.fi", "Helsinki", "FI", 2},
+	{"ucd.ie", "Dublin", "IE", 2},
+	{"cyfronet.pl", "Krakow", "PL", 2},
+	{"pw.edu.pl", "Warsaw", "PL", 2},
+	{"cesnet.cz", "Prague", "CZ", 2},
+	{"elte.hu", "Budapest", "HU", 2},
+	{"upatras.gr", "Athens", "GR", 2},
+	{"fct.unl.pt", "Lisbon", "PT", 2},
+	{"tuwien.ac.at", "Vienna", "AT", 2},
+	{"uni-lj.si", "Ljubljana", "SI", 2},
+	{"pub.ro", "Bucharest", "RO", 2},
+	{"bilkent.edu.tr", "Ankara", "TR", 2},
+	{"koc.edu.tr", "Istanbul", "TR", 2},
+	{"technion.ac.il", "Haifa", "IL", 2},
+	{"huji.ac.il", "Jerusalem", "IL", 2},
+
+	// Asia and Oceania.
+	{"titech.ac.jp", "Tokyo", "JP", 3},
+	{"osaka-u.ac.jp", "Osaka", "JP", 2},
+	{"kaist.ac.kr", "Daejeon", "KR", 2},
+	{"snu.ac.kr", "Seoul", "KR", 2},
+	{"tsinghua.edu.cn", "Beijing", "CN", 2},
+	{"sjtu.edu.cn", "Shanghai", "CN", 2},
+	{"cuhk.edu.hk", "Hong Kong", "HK", 2},
+	{"ntu.edu.tw", "Taipei", "TW", 2},
+	{"nus.edu.sg", "Singapore", "SG", 3},
+	{"iitb.ac.in", "Mumbai", "IN", 2},
+	{"iitd.ac.in", "Delhi", "IN", 2},
+	{"unimelb.edu.au", "Melbourne", "AU", 2},
+	{"usyd.edu.au", "Sydney", "AU", 2},
+	{"auckland.ac.nz", "Auckland", "NZ", 2},
+
+	// South America and Africa.
+	{"usp.br", "Sao Paulo", "BR", 2},
+	{"ufmg.br", "Belo Horizonte", "BR", 2},
+	{"unlp.edu.ar", "Buenos Aires", "AR", 2},
+	{"uchile.cl", "Santiago", "CL", 2},
+	{"uct.ac.za", "Cape Town", "ZA", 2},
+	{"unam.mx", "Mexico City", "MX", 2},
+}
+
+// PlanetLab builds the PlanetLab-like platform over the given city
+// database. Host locations and load factors are deterministic.
+func PlanetLab(db *cities.DB) *Platform {
+	var vps []VP
+	id := 0
+	for _, s := range planetLabSites {
+		city := db.MustByName(s.city, s.cc)
+		for n := 1; n <= s.nodes; n++ {
+			vps = append(vps, makeVP(id, fmt.Sprintf("planetlab%d.%s", n, s.domain), city, plLoadFactor(id)))
+			id++
+		}
+	}
+	return &Platform{name: "planetlab", vps: vps}
+}
+
+// plLoadFactor draws the heavy-tailed PlanetLab load factor for a node.
+// Calibrated against Fig. 8: with a ~1.8 h base census, ~40% of nodes
+// finish within 2 h, 95% within 5 h, and the slowest take up to ~16 h.
+func plLoadFactor(id int) float64 {
+	q := detrand.UnitFloat(uint64(id), 0x10AD)
+	switch {
+	case q <= 0.40:
+		// Fast nodes: barely loaded.
+		return 0.55 + 0.54*(q/0.40)
+	case q <= 0.95:
+		// The bulk: moderately loaded, stretching to ~2.7x.
+		f := (q - 0.40) / 0.55
+		return 1.09 + 1.64*math.Pow(f, 1.5)
+	default:
+		// Stragglers.
+		f := (q - 0.95) / 0.05
+		return 2.73 + 5.9*f*f
+	}
+}
+
+// RIPEAtlas builds the RIPE-Atlas-like platform: broader and more uniform
+// coverage, roughly nVPs probes hosted in the most populated cities of
+// every country in the database. The default size is ~1000.
+func RIPEAtlas(db *cities.DB) *Platform {
+	const perCity = 4
+	// Take every country's three largest cities, then fill with the
+	// largest remaining cities overall.
+	chosen := make(map[string]bool)
+	var sites []cities.City
+	perCC := make(map[string]int)
+	for _, c := range db.All() { // decreasing population
+		if perCC[c.CC] < 3 {
+			perCC[c.CC]++
+			chosen[c.Key()] = true
+			sites = append(sites, c)
+		}
+	}
+	for _, c := range db.All() {
+		if len(sites) >= 250 {
+			break
+		}
+		if !chosen[c.Key()] {
+			chosen[c.Key()] = true
+			sites = append(sites, c)
+		}
+	}
+	var vps []VP
+	id := 0
+	for _, city := range sites {
+		for n := 0; n < perCity; n++ {
+			lf := 0.9 + 0.4*detrand.UnitFloat(uint64(id), 0x41A5)
+			vps = append(vps, makeVP(id, fmt.Sprintf("ripe-probe-%04d", id), city, lf))
+			id++
+		}
+	}
+	return &Platform{name: "ripe", vps: vps}
+}
+
+// makeVP places a VP a deterministic few kilometers away from its site city
+// center.
+func makeVP(id int, name string, city cities.City, load float64) VP {
+	bearing := 360 * detrand.UnitFloat(uint64(id), 0xBEA2)
+	dist := 25 * detrand.UnitFloat(uint64(id), 0xD157)
+	return VP{
+		ID:         id,
+		Name:       name,
+		City:       city,
+		Loc:        geo.Destination(city.Loc, bearing, dist),
+		LoadFactor: load,
+	}
+}

@@ -1,0 +1,175 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"anycastmap/internal/cities"
+	"anycastmap/internal/geo"
+)
+
+func TestPlanetLabSize(t *testing.T) {
+	pl := PlanetLab(cities.Default())
+	// Real PlanetLab had ~300 active nodes (Sec. 2.2).
+	if pl.Len() < 260 || pl.Len() > 340 {
+		t.Errorf("PlanetLab has %d VPs, want ~300", pl.Len())
+	}
+	if pl.Name() != "planetlab" {
+		t.Errorf("name = %q", pl.Name())
+	}
+}
+
+func TestPlanetLabGeography(t *testing.T) {
+	pl := PlanetLab(cities.Default())
+	byRegion := map[string]int{}
+	for _, v := range pl.VPs() {
+		switch v.City.CC {
+		case "US", "CA":
+			byRegion["na"]++
+		case "FR", "GB", "DE", "CH", "IT", "ES", "NL", "BE", "SE", "NO", "DK", "FI", "IE", "PL", "CZ", "HU", "GR", "PT", "AT", "SI", "RO", "TR", "IL":
+			byRegion["eu"]++
+		default:
+			byRegion["other"]++
+		}
+	}
+	n := float64(pl.Len())
+	if f := float64(byRegion["na"]) / n; f < 0.35 || f > 0.60 {
+		t.Errorf("North America fraction = %.2f, want ~0.45 (PlanetLab is US-skewed)", f)
+	}
+	if f := float64(byRegion["eu"]) / n; f < 0.25 || f > 0.50 {
+		t.Errorf("Europe fraction = %.2f, want ~0.35", f)
+	}
+	if byRegion["other"] == 0 {
+		t.Error("PlanetLab should have some non-NA/EU nodes")
+	}
+}
+
+func TestRIPEBiggerAndBroader(t *testing.T) {
+	db := cities.Default()
+	pl := PlanetLab(db)
+	ripe := RIPEAtlas(db)
+	if ripe.Len() <= 2*pl.Len() {
+		t.Errorf("RIPE (%d) should be much larger than PlanetLab (%d)", ripe.Len(), pl.Len())
+	}
+	if len(ripe.Countries()) <= len(pl.Countries()) {
+		t.Errorf("RIPE covers %d countries, PlanetLab %d; RIPE should cover more",
+			len(ripe.Countries()), len(pl.Countries()))
+	}
+}
+
+func TestVPsHaveValidPlacement(t *testing.T) {
+	db := cities.Default()
+	for _, p := range []*Platform{PlanetLab(db), RIPEAtlas(db)} {
+		seen := map[int]bool{}
+		for _, v := range p.VPs() {
+			if seen[v.ID] {
+				t.Fatalf("%s: duplicate VP ID %d", p.Name(), v.ID)
+			}
+			seen[v.ID] = true
+			if !v.Loc.Valid() {
+				t.Fatalf("%s: VP %v has invalid location", p.Name(), v)
+			}
+			if d := geo.DistanceKm(v.Loc, v.City.Loc); d > 30 {
+				t.Fatalf("%s: VP %v placed %.0f km from its site city", p.Name(), v, d)
+			}
+			if v.LoadFactor <= 0 {
+				t.Fatalf("%s: VP %v has non-positive load factor", p.Name(), v)
+			}
+			if v.Name == "" {
+				t.Fatalf("%s: VP %d has empty name", p.Name(), v.ID)
+			}
+		}
+	}
+}
+
+func TestPlanetLabLoadDistribution(t *testing.T) {
+	// Fig. 8 calibration: with a 1.83h base census, ~40% of nodes finish
+	// within 2h and ~95% within 5h.
+	pl := PlanetLab(cities.Default())
+	const baseHours = 1.833
+	within2, within5 := 0, 0
+	maxH := 0.0
+	for _, v := range pl.VPs() {
+		h := baseHours * v.LoadFactor
+		if h <= 2 {
+			within2++
+		}
+		if h <= 5 {
+			within5++
+		}
+		if h > maxH {
+			maxH = h
+		}
+	}
+	n := float64(pl.Len())
+	if f := float64(within2) / n; f < 0.30 || f > 0.55 {
+		t.Errorf("fraction finishing within 2h = %.2f, want ~0.40", f)
+	}
+	if f := float64(within5) / n; f < 0.90 || f > 0.99 {
+		t.Errorf("fraction finishing within 5h = %.2f, want ~0.95", f)
+	}
+	if maxH < 5 || maxH > 17 {
+		t.Errorf("slowest node takes %.1f h, want a heavy tail below ~16h", maxH)
+	}
+}
+
+func TestSample(t *testing.T) {
+	pl := PlanetLab(cities.Default())
+	s := pl.Sample(261, 1)
+	if len(s) != 261 {
+		t.Fatalf("Sample(261) returned %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if seen[v.ID] {
+			t.Fatal("Sample returned duplicate VP")
+		}
+		seen[v.ID] = true
+	}
+	// Deterministic for the same seed.
+	s2 := pl.Sample(261, 1)
+	for i := range s {
+		if s[i].ID != s2[i].ID {
+			t.Fatal("Sample not deterministic")
+		}
+	}
+	// Different for a different seed.
+	s3 := pl.Sample(261, 2)
+	diff := false
+	for i := range s {
+		if s[i].ID != s3[i].ID {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("samples with different seeds are identical")
+	}
+	// Requesting more than available returns everything.
+	all := pl.Sample(10000, 3)
+	if len(all) != pl.Len() {
+		t.Errorf("Sample(10000) returned %d, want %d", len(all), pl.Len())
+	}
+}
+
+func TestPlanetLabDeterministic(t *testing.T) {
+	db := cities.Default()
+	a, b := PlanetLab(db), PlanetLab(db)
+	if a.Len() != b.Len() {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.VPs() {
+		if a.VPs()[i] != b.VPs()[i] {
+			t.Fatalf("VP %d differs between constructions", i)
+		}
+	}
+}
+
+func TestVPNames(t *testing.T) {
+	pl := PlanetLab(cities.Default())
+	for _, v := range pl.VPs() {
+		if !strings.HasPrefix(v.Name, "planetlab") {
+			t.Errorf("unexpected VP name %q", v.Name)
+		}
+	}
+}

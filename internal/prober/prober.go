@@ -1,0 +1,244 @@
+// Package prober is the measurement engine of the census, modelled on
+// Fastping (Sec. 3.3): an ICMP scanner that walks its target list in a
+// randomized LFSR permutation, honours a greylist of hosts that asked not
+// to be probed, and paces itself to the configured rate. Like its
+// real-world counterpart it is a good Internet citizen: probing too fast
+// aggregates replies at the vantage point and loses them (Sec. 3.5 - the
+// counter-intuitive lesson that censuses complete sooner when the prober is
+// slowed down by an order of magnitude).
+package prober
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"anycastmap/internal/detrand"
+	"anycastmap/internal/lfsr"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/record"
+)
+
+// Greylist is a concurrency-safe set of hosts whose ICMP errors asked us to
+// stop probing them (type 3 codes 9, 10 and 13). Entries accumulate during
+// a census and merge into the persistent blacklist between censuses.
+type Greylist struct {
+	mu sync.RWMutex
+	m  map[netsim.IP]netsim.ReplyKind
+}
+
+// NewGreylist returns an empty greylist.
+func NewGreylist() *Greylist {
+	return &Greylist{m: make(map[netsim.IP]netsim.ReplyKind)}
+}
+
+// Add records a host and the error that put it here.
+func (g *Greylist) Add(ip netsim.IP, kind netsim.ReplyKind) {
+	g.mu.Lock()
+	g.m[ip] = kind
+	g.mu.Unlock()
+}
+
+// Contains reports whether the host is greylisted.
+func (g *Greylist) Contains(ip netsim.IP) bool {
+	g.mu.RLock()
+	_, ok := g.m[ip]
+	g.mu.RUnlock()
+	return ok
+}
+
+// Len returns the number of greylisted hosts.
+func (g *Greylist) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.m)
+}
+
+// Merge folds other into g.
+func (g *Greylist) Merge(other *Greylist) {
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for ip, k := range other.m {
+		g.m[ip] = k
+	}
+}
+
+// Breakdown counts entries by ICMP error kind (Sec. 3.3 reports 98.5%
+// administratively filtered).
+func (g *Greylist) Breakdown() map[netsim.ReplyKind]int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[netsim.ReplyKind]int)
+	for _, k := range g.m {
+		out[k]++
+	}
+	return out
+}
+
+// Targets returns the greylisted addresses as a set usable with
+// Hitlist.Without.
+func (g *Greylist) Targets() map[netsim.IP]bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[netsim.IP]bool, len(g.m))
+	for ip := range g.m {
+		out[ip] = true
+	}
+	return out
+}
+
+// Config tunes one probing run.
+type Config struct {
+	// Rate is the probing rate in probes per second. The default 1,000
+	// is the deliberately slowed-down Fastping rate that avoids
+	// saturating the vantage point's access network; 10,000 is the rate
+	// that triggered heterogeneous reply drops.
+	Rate float64
+	// Round is the census round; it decorrelates per-probe jitter
+	// between censuses.
+	Round uint64
+	// Seed decorrelates the LFSR permutation between runs.
+	Seed uint64
+	// Wire routes every probe through the packet codecs (IPv4 + ICMP
+	// marshal on send, parse on receive) instead of the fast path. The
+	// two are behaviourally identical; wire mode buys fidelity at a
+	// modest CPU cost.
+	Wire bool
+}
+
+func (c Config) rate() float64 {
+	if c.Rate <= 0 {
+		return 1000
+	}
+	return c.Rate
+}
+
+// Stats summarizes one vantage point's census run.
+type Stats struct {
+	VP            platform.VP
+	Sent          int
+	Echo          int
+	Errors        int
+	Timeouts      int
+	SourceDropped int
+	// Completion is the simulated wall-clock duration of the run,
+	// including the host's load factor (Fig. 8).
+	Completion time.Duration
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: sent=%d echo=%d err=%d timeout=%d dropped=%d in %v",
+		s.VP.Name, s.Sent, s.Echo, s.Errors, s.Timeouts, s.SourceDropped, s.Completion.Round(time.Second))
+}
+
+// Run probes every target from the vantage point, skipping greylisted
+// hosts, and streams recordable samples to sink (which may be nil). It
+// returns the run statistics and the greylist additions discovered during
+// the run.
+func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, cfg Config, sink func(record.Sample)) (Stats, *Greylist) {
+	stats := Stats{VP: vp}
+	found := NewGreylist()
+	n := uint64(len(targets))
+	if n == 0 {
+		return stats, found
+	}
+
+	perm, err := lfsr.NewPermutation(n, detrand.Hash64(cfg.Seed, uint64(vp.ID), cfg.Round, 0x5CAB))
+	if err != nil {
+		panic(fmt.Sprintf("prober: %v", err))
+	}
+
+	rate := cfg.rate()
+	dropProb := w.SourceDropProb(vp, rate)
+	msPerProbe := 1000.0 / rate
+
+	for i := uint64(0); ; i++ {
+		idx, ok := perm.Next()
+		if !ok {
+			break
+		}
+		target := targets[idx]
+		if skip != nil && skip.Contains(target) {
+			continue
+		}
+		stats.Sent++
+		tsMs := uint32(float64(i) * msPerProbe * vp.LoadFactor)
+		var reply netsim.Reply
+		if cfg.Wire {
+			// Full packet path: marshal the probe, exchange datagrams,
+			// parse the reply like a pcap-based deployment would.
+			src := netsim.IP(0x0A000000 | uint32(vp.ID)&0xFFFF)
+			pkt, wireReply, err := w.ExchangeICMP(vp, src, target, uint16(vp.ID), uint16(i), cfg.Round)
+			if err != nil {
+				panic(fmt.Sprintf("prober: wire path: %v", err))
+			}
+			decoded, err := netsim.DecodeICMPReply(pkt)
+			if err != nil {
+				panic(fmt.Sprintf("prober: decode reply: %v", err))
+			}
+			if decoded.Kind != wireReply.Kind {
+				panic("prober: wire decode disagrees with simulation")
+			}
+			reply = wireReply
+		} else {
+			reply = w.ProbeICMP(vp, target, cfg.Round)
+		}
+
+		// Replies aggregate near the vantage point: at excessive rates a
+		// fraction is dropped before Fastping sees them.
+		if reply.Kind != netsim.ReplyTimeout && dropProb > 0 &&
+			detrand.UnitFloat(cfg.Seed, uint64(vp.ID), uint64(target), cfg.Round, 0xD86) < dropProb {
+			stats.SourceDropped++
+			stats.Timeouts++
+			continue
+		}
+
+		switch {
+		case reply.Kind == netsim.ReplyEcho:
+			stats.Echo++
+		case reply.Kind.Greylistable():
+			stats.Errors++
+			found.Add(target, reply.Kind)
+		default:
+			stats.Timeouts++
+			continue // timeouts are not recorded
+		}
+		if sink != nil {
+			sink(record.Sample{Target: target, TimestampMs: tsMs, Kind: reply.Kind, RTT: reply.RTT})
+		}
+	}
+
+	stats.Completion = time.Duration(float64(len(targets)) / rate * vp.LoadFactor * float64(time.Second))
+	return stats, found
+}
+
+// BuildBlacklist runs the preliminary single-vantage census of Sec. 3.3:
+// before probing from O(100) VPs, one census from a single VP seeds the
+// blacklist with the hosts that object to being probed.
+func BuildBlacklist(w *netsim.World, vp platform.VP, targets []netsim.IP, cfg Config) *Greylist {
+	_, grey := Run(w, vp, targets, nil, cfg, nil)
+	return grey
+}
+
+// Snapshot returns a copy of the greylist contents for persistence.
+func (g *Greylist) Snapshot() map[netsim.IP]netsim.ReplyKind {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[netsim.IP]netsim.ReplyKind, len(g.m))
+	for ip, k := range g.m {
+		out[ip] = k
+	}
+	return out
+}
+
+// FromSnapshot rebuilds a greylist from a persisted snapshot.
+func FromSnapshot(m map[netsim.IP]netsim.ReplyKind) *Greylist {
+	g := NewGreylist()
+	for ip, k := range m {
+		g.m[ip] = k
+	}
+	return g
+}

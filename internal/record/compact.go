@@ -1,0 +1,168 @@
+package record
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"anycastmap/internal/netsim"
+)
+
+// The compact format is the third generation of the census record layout:
+// where the fixed binary format spends 12 bytes per sample, the compact one
+// varint-encodes timestamp deltas (small and monotone within a run) and
+// delays, and folds the reply kind into a tag byte, landing at ~7-9 bytes
+// per sample - the density range of the paper's 21 MB-per-VP files.
+//
+// Layout per sample:
+//
+//	tag     byte: low 2 bits = kind (0 echo, 1 code13, 2 code10, 3 code9)
+//	target  4 bytes big-endian
+//	dt      uvarint: timestamp delta in ms from the previous sample
+//	delay   uvarint: RTT in µs
+
+const compactMagic = "ACMC1\n"
+
+// kind tags of the compact format.
+const (
+	tagEcho = iota
+	tagAdminFiltered
+	tagHostProhibited
+	tagNetProhibited
+)
+
+func kindToTag(k netsim.ReplyKind) (byte, error) {
+	switch k {
+	case netsim.ReplyEcho:
+		return tagEcho, nil
+	case netsim.ReplyAdminFiltered:
+		return tagAdminFiltered, nil
+	case netsim.ReplyHostProhibited:
+		return tagHostProhibited, nil
+	case netsim.ReplyNetProhibited:
+		return tagNetProhibited, nil
+	}
+	return 0, fmt.Errorf("%w: %v", ErrUnrecordable, k)
+}
+
+func tagToKind(t byte) (netsim.ReplyKind, error) {
+	switch t {
+	case tagEcho:
+		return netsim.ReplyEcho, nil
+	case tagAdminFiltered:
+		return netsim.ReplyAdminFiltered, nil
+	case tagHostProhibited:
+		return netsim.ReplyHostProhibited, nil
+	case tagNetProhibited:
+		return netsim.ReplyNetProhibited, nil
+	}
+	return 0, fmt.Errorf("record: invalid compact tag %d", t)
+}
+
+// CompactWriter encodes samples in the delta/varint format. Samples must be
+// written in non-decreasing timestamp order (the natural probe order).
+type CompactWriter struct {
+	w      *bufio.Writer
+	lastTs uint32
+	wrote  bool
+	buf    [4 + 2*binary.MaxVarintLen64 + 1]byte
+}
+
+// NewCompactWriter returns a compact sample writer; the format magic is
+// emitted lazily with the first sample.
+func NewCompactWriter(w io.Writer) *CompactWriter {
+	return &CompactWriter{w: bufio.NewWriter(w)}
+}
+
+// Write encodes one sample.
+func (cw *CompactWriter) Write(s Sample) error {
+	tag, err := kindToTag(s.Kind)
+	if err != nil {
+		return err
+	}
+	if !cw.wrote {
+		if _, err := cw.w.WriteString(compactMagic); err != nil {
+			return err
+		}
+		cw.wrote = true
+	}
+	if s.TimestampMs < cw.lastTs {
+		return fmt.Errorf("record: compact samples must be timestamp-ordered (%d after %d)", s.TimestampMs, cw.lastTs)
+	}
+	us := s.RTT.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	n := 0
+	cw.buf[n] = tag
+	n++
+	binary.BigEndian.PutUint32(cw.buf[n:], uint32(s.Target))
+	n += 4
+	n += binary.PutUvarint(cw.buf[n:], uint64(s.TimestampMs-cw.lastTs))
+	n += binary.PutUvarint(cw.buf[n:], uint64(us))
+	cw.lastTs = s.TimestampMs
+	_, err = cw.w.Write(cw.buf[:n])
+	return err
+}
+
+// Flush drains the write buffer.
+func (cw *CompactWriter) Flush() error { return cw.w.Flush() }
+
+// CompactReader decodes the compact format.
+type CompactReader struct {
+	r       *bufio.Reader
+	lastTs  uint32
+	started bool
+}
+
+// NewCompactReader returns a compact sample reader.
+func NewCompactReader(r io.Reader) *CompactReader {
+	return &CompactReader{r: bufio.NewReader(r)}
+}
+
+// Read returns the next sample or io.EOF.
+func (cr *CompactReader) Read() (Sample, error) {
+	if !cr.started {
+		magic := make([]byte, len(compactMagic))
+		if _, err := io.ReadFull(cr.r, magic); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return Sample{}, fmt.Errorf("record: truncated compact header")
+			}
+			return Sample{}, err
+		}
+		if string(magic) != compactMagic {
+			return Sample{}, fmt.Errorf("record: bad compact magic %q", magic)
+		}
+		cr.started = true
+	}
+	tag, err := cr.r.ReadByte()
+	if err != nil {
+		return Sample{}, err // io.EOF at a sample boundary is the clean end
+	}
+	kind, err := tagToKind(tag)
+	if err != nil {
+		return Sample{}, err
+	}
+	var tgt [4]byte
+	if _, err := io.ReadFull(cr.r, tgt[:]); err != nil {
+		return Sample{}, fmt.Errorf("record: truncated compact target: %w", err)
+	}
+	dt, err := binary.ReadUvarint(cr.r)
+	if err != nil {
+		return Sample{}, fmt.Errorf("record: truncated compact timestamp: %w", err)
+	}
+	us, err := binary.ReadUvarint(cr.r)
+	if err != nil {
+		return Sample{}, fmt.Errorf("record: truncated compact delay: %w", err)
+	}
+	cr.lastTs += uint32(dt)
+	return Sample{
+		Target:      netsim.IP(binary.BigEndian.Uint32(tgt[:])),
+		TimestampMs: cr.lastTs,
+		Kind:        kind,
+		RTT:         time.Duration(us) * time.Microsecond,
+	}, nil
+}

@@ -1,0 +1,158 @@
+package record
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"anycastmap/internal/netsim"
+)
+
+// orderedSamples generates timestamp-ordered samples as a probing run
+// produces them.
+func orderedSamples(r *rand.Rand, n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = randSample(r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimestampMs < out[j].TimestampMs })
+	return out
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	samples := orderedSamples(r, 2000)
+	var buf bytes.Buffer
+	got := roundTrip(t, NewCompactWriter(&buf), func() Reader { return NewCompactReader(&buf) }, samples)
+	if len(got) != len(samples) {
+		t.Fatalf("round trip returned %d, want %d", len(got), len(samples))
+	}
+	for i := range samples {
+		if got[i] != samples[i] {
+			t.Fatalf("sample %d: %+v != %+v", i, got[i], samples[i])
+		}
+	}
+}
+
+func TestCompactSmallerThanBinary(t *testing.T) {
+	// The whole point: beat the fixed 12-byte layout on realistic runs
+	// (small timestamp deltas, sub-second delays).
+	r := rand.New(rand.NewSource(12))
+	var bin, compact bytes.Buffer
+	bw := NewBinaryWriter(&bin)
+	cw := NewCompactWriter(&compact)
+	ts := uint32(0)
+	for i := 0; i < 5000; i++ {
+		ts += uint32(r.Intn(3)) // ~1ms between samples at 1k pps
+		s := Sample{
+			Target:      netsim.IP(r.Uint32()),
+			TimestampMs: ts,
+			Kind:        netsim.ReplyEcho,
+			RTT:         time.Duration(1000+r.Intn(300_000)) * time.Microsecond,
+		}
+		bw.Write(s)
+		cw.Write(s)
+	}
+	bw.Flush()
+	cw.Flush()
+	if compact.Len() >= bin.Len() {
+		t.Errorf("compact %d bytes >= binary %d bytes", compact.Len(), bin.Len())
+	}
+	perSample := float64(compact.Len()) / 5000
+	if perSample > 9.5 {
+		t.Errorf("compact density %.1f B/sample, want < 9.5", perSample)
+	}
+	t.Logf("binary %.1f B/sample, compact %.1f B/sample", float64(bin.Len())/5000, perSample)
+}
+
+func TestCompactRejectsDisorder(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCompactWriter(&buf)
+	if err := w.Write(Sample{TimestampMs: 100, Kind: netsim.ReplyEcho}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Sample{TimestampMs: 50, Kind: netsim.ReplyEcho}); err == nil {
+		t.Error("out-of-order timestamp accepted")
+	}
+}
+
+func TestCompactRejectsTimeout(t *testing.T) {
+	w := NewCompactWriter(&bytes.Buffer{})
+	if err := w.Write(Sample{Kind: netsim.ReplyTimeout}); !errors.Is(err, ErrUnrecordable) {
+		t.Errorf("timeout error = %v", err)
+	}
+}
+
+func TestCompactBadMagic(t *testing.T) {
+	r := NewCompactReader(bytes.NewBufferString("NOTMAGIC plus some junk"))
+	if _, err := r.Read(); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestCompactTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCompactWriter(&buf)
+	w.Write(Sample{Target: 0x01020304, TimestampMs: 10, Kind: netsim.ReplyEcho, RTT: time.Millisecond})
+	w.Write(Sample{Target: 0x01020305, TimestampMs: 20, Kind: netsim.ReplyEcho, RTT: time.Millisecond})
+	w.Flush()
+	full := buf.Bytes()
+	// Every strict prefix must either cleanly EOF at a boundary or error;
+	// never yield a second phantom sample.
+	for cut := 0; cut < len(full); cut++ {
+		r := NewCompactReader(bytes.NewReader(full[:cut]))
+		n := 0
+		for {
+			_, err := r.Read()
+			if err != nil {
+				break
+			}
+			n++
+			if n > 2 {
+				t.Fatalf("cut %d produced %d samples", cut, n)
+			}
+		}
+	}
+}
+
+func TestCompactGreylistKinds(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCompactWriter(&buf)
+	kinds := []netsim.ReplyKind{
+		netsim.ReplyEcho, netsim.ReplyAdminFiltered,
+		netsim.ReplyHostProhibited, netsim.ReplyNetProhibited,
+	}
+	for i, k := range kinds {
+		if err := w.Write(Sample{TimestampMs: uint32(i), Kind: k, RTT: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	r := NewCompactReader(&buf)
+	for _, want := range kinds {
+		s, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Kind != want {
+			t.Errorf("kind = %v, want %v", s.Kind, want)
+		}
+	}
+}
+
+func BenchmarkCompactWrite(b *testing.B) {
+	w := NewCompactWriter(discard{})
+	s := Sample{Target: 0x01020304, Kind: netsim.ReplyEcho, RTT: 42 * time.Millisecond}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TimestampMs = uint32(i)
+		w.Write(s)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

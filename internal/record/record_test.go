@@ -1,0 +1,235 @@
+package record
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"anycastmap/internal/netsim"
+)
+
+func randSample(r *rand.Rand) Sample {
+	kinds := []netsim.ReplyKind{
+		netsim.ReplyEcho, netsim.ReplyEcho, netsim.ReplyEcho,
+		netsim.ReplyAdminFiltered, netsim.ReplyHostProhibited, netsim.ReplyNetProhibited,
+	}
+	return Sample{
+		Target:      netsim.IP(r.Uint32()),
+		TimestampMs: r.Uint32() % (24 * 3600 * 1000),
+		Kind:        kinds[r.Intn(len(kinds))],
+		RTT:         time.Duration(r.Intn(500_000)) * time.Microsecond,
+	}
+}
+
+func roundTrip(t *testing.T, w Writer, newReader func() Reader, samples []Sample) []Sample {
+	t.Helper()
+	for _, s := range samples {
+		if err := w.Write(s); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	var out []Sample
+	r := newReader()
+	for {
+		s, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	samples := make([]Sample, 1000)
+	for i := range samples {
+		samples[i] = randSample(r)
+	}
+	var buf bytes.Buffer
+	got := roundTrip(t, NewBinaryWriter(&buf), func() Reader { return NewBinaryReader(&buf) }, samples)
+	if len(got) != len(samples) {
+		t.Fatalf("round trip returned %d samples, want %d", len(got), len(samples))
+	}
+	for i := range samples {
+		if got[i] != samples[i] {
+			t.Fatalf("sample %d: got %+v, want %+v", i, got[i], samples[i])
+		}
+	}
+	if int64(buf.Len())+BinarySize(len(samples)) != 2*BinarySize(len(samples)) {
+		// buf has been consumed by the reader; check via BinarySize only.
+		t.Log("size check skipped (buffer drained)")
+	}
+}
+
+func TestBinarySize(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	r := rand.New(rand.NewSource(2))
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := w.Write(randSample(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	if int64(buf.Len()) != BinarySize(n) {
+		t.Errorf("binary size = %d, want %d", buf.Len(), BinarySize(n))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	samples := make([]Sample, 500)
+	for i := range samples {
+		samples[i] = randSample(r)
+		// The textual format stores RTT in µs-precision decimal ms.
+		samples[i].RTT = samples[i].RTT.Round(time.Microsecond)
+	}
+	var buf bytes.Buffer
+	got := roundTrip(t, NewCSVWriter(&buf, "planetlab1.example.edu"),
+		func() Reader { return NewCSVReader(&buf) }, samples)
+	if len(got) != len(samples) {
+		t.Fatalf("round trip returned %d samples, want %d", len(got), len(samples))
+	}
+	for i := range samples {
+		if got[i].Target != samples[i].Target || got[i].Kind != samples[i].Kind ||
+			got[i].TimestampMs != samples[i].TimestampMs {
+			t.Fatalf("sample %d: got %+v, want %+v", i, got[i], samples[i])
+		}
+		// RTT round-trips within the 1µs print precision.
+		if d := got[i].RTT - samples[i].RTT; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("sample %d RTT drifted by %v", i, d)
+		}
+	}
+}
+
+func TestTextualMuchLargerThanBinary(t *testing.T) {
+	// Table 1: the textual census is an order of magnitude larger
+	// (79 GB vs 6 GB).
+	r := rand.New(rand.NewSource(4))
+	var bin, txt bytes.Buffer
+	bw := NewBinaryWriter(&bin)
+	cw := NewCSVWriter(&txt, "planetlab2.cs.example.edu")
+	for i := 0; i < 2000; i++ {
+		s := randSample(r)
+		bw.Write(s)
+		cw.Write(s)
+	}
+	bw.Flush()
+	cw.Flush()
+	ratio := float64(txt.Len()) / float64(bin.Len())
+	if ratio < 5 {
+		t.Errorf("textual/binary size ratio = %.1f, want > 5 (paper: ~13x)", ratio)
+	}
+}
+
+func TestBinaryRejectsTimeout(t *testing.T) {
+	w := NewBinaryWriter(io.Discard)
+	err := w.Write(Sample{Kind: netsim.ReplyTimeout})
+	if !errors.Is(err, ErrUnrecordable) {
+		t.Errorf("timeout write error = %v, want ErrUnrecordable", err)
+	}
+}
+
+func TestBinaryTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	w.Write(Sample{Kind: netsim.ReplyEcho, RTT: time.Millisecond})
+	w.Flush()
+	trunc := bytes.NewReader(buf.Bytes()[:7])
+	r := NewBinaryReader(trunc)
+	if _, err := r.Read(); err == nil {
+		t.Error("truncated record read succeeded")
+	}
+}
+
+func TestBinaryDelayCap(t *testing.T) {
+	// Delays beyond the 24-bit µs budget are clamped, not corrupted.
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Write(Sample{Kind: netsim.ReplyAdminFiltered, RTT: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	s, err := NewBinaryReader(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != netsim.ReplyAdminFiltered {
+		t.Errorf("kind corrupted by clamping: %v", s.Kind)
+	}
+	if s.RTT > 17*time.Second {
+		t.Errorf("clamped RTT = %v, want <= 2^24 µs", s.RTT)
+	}
+}
+
+func TestCSVRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"not,a,sample",
+		"vp,1,999.999.0.1,2015-03-01T00:00:00Z,1.0,echo,0,0",
+		"vp,1,1.2.3.4,yesterday,1.0,echo,0,0",
+		"vp,1,1.2.3.4,2015-03-01T00:00:00Z,fast,echo,0,0",
+		"vp,1,1.2.3.4,2015-03-01T00:00:00Z,1.0,echo,3,77",
+	} {
+		r := NewCSVReader(bytes.NewBufferString(line + "\n"))
+		if _, err := r.Read(); err == nil {
+			t.Errorf("CSV accepted garbage line %q", line)
+		}
+	}
+}
+
+func TestBinaryPropertyRoundTrip(t *testing.T) {
+	f := func(target uint32, ts uint32, rttUs uint32, kindSel uint8) bool {
+		kinds := []netsim.ReplyKind{
+			netsim.ReplyEcho, netsim.ReplyAdminFiltered,
+			netsim.ReplyHostProhibited, netsim.ReplyNetProhibited,
+		}
+		in := Sample{
+			Target:      netsim.IP(target),
+			TimestampMs: ts,
+			Kind:        kinds[int(kindSel)%len(kinds)],
+			RTT:         time.Duration(rttUs%maxDelayUs) * time.Microsecond,
+		}
+		var buf bytes.Buffer
+		w := NewBinaryWriter(&buf)
+		if w.Write(in) != nil {
+			return false
+		}
+		w.Flush()
+		out, err := NewBinaryReader(&buf).Read()
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBinaryWrite(b *testing.B) {
+	w := NewBinaryWriter(io.Discard)
+	s := Sample{Target: 0x01020304, TimestampMs: 1234, Kind: netsim.ReplyEcho, RTT: 42 * time.Millisecond}
+	b.SetBytes(binaryRecordSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Write(s)
+	}
+}
+
+func BenchmarkCSVWrite(b *testing.B) {
+	w := NewCSVWriter(io.Discard, "planetlab1.example.edu")
+	s := Sample{Target: 0x01020304, TimestampMs: 1234, Kind: netsim.ReplyEcho, RTT: 42 * time.Millisecond}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Write(s)
+	}
+}

@@ -1,0 +1,213 @@
+// Package stats provides the small set of descriptive statistics the census
+// characterization needs: empirical CDF/CCDF series (Figs. 8, 12, 13, 15),
+// percentiles and medians (validation, Fig. 7), and Pearson / Spearman
+// correlation (the footprint-correlation and web-server-popularity checks of
+// Secs. 4.2 and 4.3).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	return Percentile(xs, 50)
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Point is one step of an empirical distribution function.
+type Point struct {
+	X float64 // value
+	P float64 // cumulative probability
+}
+
+// ECDF returns the empirical CDF of xs as a step series: for each distinct
+// value x, the fraction of samples <= x. The series is sorted by X.
+func ECDF(xs []float64) []Point {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var out []Point
+	for i := 0; i < len(s); i++ {
+		// Emit one point per distinct value, at its last occurrence.
+		if i+1 < len(s) && s[i+1] == s[i] {
+			continue
+		}
+		out = append(out, Point{X: s[i], P: float64(i+1) / n})
+	}
+	return out
+}
+
+// CCDF returns the complementary CDF: for each distinct value x, the
+// fraction of samples >= x (as plotted in Fig. 15).
+func CCDF(xs []float64) []Point {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var out []Point
+	for i := 0; i < len(s); i++ {
+		if i > 0 && s[i] == s[i-1] {
+			continue
+		}
+		out = append(out, Point{X: s[i], P: float64(len(s)-i) / n})
+	}
+	return out
+}
+
+// FractionAtMost returns the fraction of samples <= x.
+func FractionAtMost(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range xs {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// FractionAtLeast returns the fraction of samples >= x.
+func FractionAtLeast(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range xs {
+		if v >= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Pearson returns the Pearson linear correlation coefficient of the paired
+// samples x and y. It returns 0 when the inputs are degenerate (fewer than
+// two points, mismatched lengths, or zero variance).
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation coefficient of the paired
+// samples, i.e. the Pearson correlation of their ranks with ties assigned
+// their average rank.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	return Pearson(ranks(x), ranks(y))
+}
+
+// ranks returns the fractional (average-of-ties) ranks of xs.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// MinMax returns the smallest and largest values of xs.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}

@@ -1,0 +1,272 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5, 1e-12) {
+		t.Error("Mean([1..4]) != 2.5")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev(nil) != 0 {
+		t.Error("StdDev(nil) != 0")
+	}
+	if StdDev([]float64{5, 5, 5}) != 0 {
+		t.Error("StdDev of constant != 0")
+	}
+	// Population stddev of {2,4,4,4,5,5,7,9} is 2.
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2, 1e-12) {
+		t.Error("known stddev failed")
+	}
+}
+
+func TestMedianAndPercentile(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	if !almost(Median([]float64{3, 1, 2}), 2, 1e-12) {
+		t.Error("median of odd-length failed")
+	}
+	if !almost(Median([]float64{4, 1, 2, 3}), 2.5, 1e-12) {
+		t.Error("median of even-length failed")
+	}
+	xs := []float64{10, 20, 30, 40, 50}
+	if !almost(Percentile(xs, 0), 10, 1e-12) || !almost(Percentile(xs, 100), 50, 1e-12) {
+		t.Error("percentile extremes failed")
+	}
+	if !almost(Percentile(xs, 25), 20, 1e-12) {
+		t.Errorf("P25 = %v, want 20", Percentile(xs, 25))
+	}
+	// Percentile must not modify its input.
+	in := []float64{5, 1, 3}
+	Percentile(in, 50)
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1, p2 := float64(a%101), float64(b%101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(xs, p1) <= Percentile(xs, p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	if ECDF(nil) != nil {
+		t.Error("ECDF(nil) != nil")
+	}
+	pts := ECDF([]float64{1, 2, 2, 3})
+	want := []Point{{1, 0.25}, {2, 0.75}, {3, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("ECDF = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if !almost(pts[i].X, want[i].X, 1e-12) || !almost(pts[i].P, want[i].P, 1e-12) {
+			t.Errorf("ECDF[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	pts := CCDF([]float64{1, 2, 2, 3})
+	want := []Point{{1, 1}, {2, 0.75}, {3, 0.25}}
+	if len(pts) != len(want) {
+		t.Fatalf("CCDF = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if !almost(pts[i].X, want[i].X, 1e-12) || !almost(pts[i].P, want[i].P, 1e-12) {
+			t.Errorf("CCDF[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestECDFProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Floor(r.Float64() * 20) // force ties
+		}
+		pts := ECDF(xs)
+		// Monotone nondecreasing in X and P, final P == 1.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X <= pts[i-1].X {
+				t.Fatal("ECDF X not strictly increasing")
+			}
+			if pts[i].P < pts[i-1].P {
+				t.Fatal("ECDF P decreasing")
+			}
+		}
+		if !almost(pts[len(pts)-1].P, 1, 1e-12) {
+			t.Fatal("ECDF does not end at 1")
+		}
+		// Cross-check against FractionAtMost.
+		for _, p := range pts {
+			if !almost(p.P, FractionAtMost(xs, p.X), 1e-12) {
+				t.Fatal("ECDF point disagrees with FractionAtMost")
+			}
+		}
+		// CCDF starts at 1 and matches FractionAtLeast.
+		cc := CCDF(xs)
+		if !almost(cc[0].P, 1, 1e-12) {
+			t.Fatal("CCDF does not start at 1")
+		}
+		for _, p := range cc {
+			if !almost(p.P, FractionAtLeast(xs, p.X), 1e-12) {
+				t.Fatal("CCDF point disagrees with FractionAtLeast")
+			}
+		}
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPos := []float64{2, 4, 6, 8, 10}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	if !almost(Pearson(x, yPos), 1, 1e-12) {
+		t.Errorf("perfect positive correlation = %v", Pearson(x, yPos))
+	}
+	if !almost(Pearson(x, yNeg), -1, 1e-12) {
+		t.Errorf("perfect negative correlation = %v", Pearson(x, yNeg))
+	}
+	if Pearson(x, []float64{1, 1, 1, 1, 1}) != 0 {
+		t.Error("zero-variance y should give 0")
+	}
+	if Pearson(x, x[:3]) != 0 {
+		t.Error("mismatched lengths should give 0")
+	}
+	if Pearson(nil, nil) != 0 {
+		t.Error("empty should give 0")
+	}
+}
+
+func TestPearsonBounded(t *testing.T) {
+	f := func(pairs []struct{ X, Y float64 }) bool {
+		var x, y []float64
+		for _, p := range pairs {
+			if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+				continue
+			}
+			if math.Abs(p.X) > 1e100 || math.Abs(p.Y) > 1e100 {
+				continue
+			}
+			x = append(x, p.X)
+			y = append(y, p.Y)
+		}
+		r := Pearson(x, y)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Spearman is 1 for any monotone relationship, even nonlinear.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	if !almost(Spearman(x, y), 1, 1e-12) {
+		t.Errorf("monotone cubic Spearman = %v, want 1", Spearman(x, y))
+	}
+	yRev := []float64{125, 64, 27, 8, 1}
+	if !almost(Spearman(x, yRev), -1, 1e-12) {
+		t.Errorf("reversed Spearman = %v, want -1", Spearman(x, yRev))
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// With ties handled by average ranks, [1,2,2,3] vs itself is still 1.
+	x := []float64{1, 2, 2, 3}
+	if !almost(Spearman(x, x), 1, 1e-12) {
+		t.Errorf("self Spearman with ties = %v", Spearman(x, x))
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 40})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almost(got[i], want[i], 1e-12) {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Error("MinMax(nil) != 0,0")
+	}
+}
+
+func TestPercentileAgainstSort(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	xs := make([]float64, 999)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	// With 999 samples, P50 is exactly the 500th order statistic.
+	if !almost(Percentile(xs, 50), s[499], 1e-12) {
+		t.Error("P50 of 999 samples != 500th order statistic")
+	}
+}
+
+func BenchmarkECDF(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ECDF(xs)
+	}
+}
+
+func BenchmarkSpearman(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	x := make([]float64, 1000)
+	y := make([]float64, 1000)
+	for i := range x {
+		x[i], y[i] = r.Float64(), r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Spearman(x, y)
+	}
+}

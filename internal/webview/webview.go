@@ -1,0 +1,212 @@
+// Package webview serves the census results for browsing, the equivalent
+// of the paper's public dataset site (reference [21]): an HTML index of
+// every detected anycast /24, a JSON API, and per-deployment GeoJSON of the
+// geolocated replicas, suitable for dropping onto any map widget.
+//
+// The server exposes measurement results only - nothing from the
+// simulator's ground truth.
+package webview
+
+import (
+	"embed"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"strings"
+
+	"anycastmap/internal/analysis"
+	"anycastmap/internal/asdb"
+	"anycastmap/internal/netsim"
+)
+
+// Finding is the JSON shape of one detected anycast /24.
+type Finding struct {
+	Prefix   string   `json:"prefix"`
+	ASN      int      `json:"asn"`
+	ASName   string   `json:"as_name"`
+	Category string   `json:"category"`
+	Replicas int      `json:"replicas"`
+	Cities   []string `json:"cities"`
+}
+
+// replica is one geolocated instance for the GeoJSON output.
+type replica struct {
+	city    string
+	cc      string
+	lat     float64
+	lon     float64
+	viaVP   string
+	located bool
+}
+
+// Server is the census browser; it implements http.Handler.
+type Server struct {
+	mux      *http.ServeMux
+	findings []Finding
+	replicas map[string][]replica // prefix -> geolocated replicas
+	tmpl     *template.Template
+}
+
+//go:embed index.html.tmpl
+var templates embed.FS
+
+// New builds a server over attributed census findings.
+func New(fs []analysis.Finding, reg *asdb.Registry) (*Server, error) {
+	tmpl, err := template.ParseFS(templates, "index.html.tmpl")
+	if err != nil {
+		return nil, fmt.Errorf("webview: %w", err)
+	}
+	s := &Server{
+		mux:      http.NewServeMux(),
+		replicas: map[string][]replica{},
+		tmpl:     tmpl,
+	}
+	for _, f := range fs {
+		name, cat := "", ""
+		if as, ok := reg.ByASN(f.ASN); ok {
+			name, cat = as.Name, as.Category.String()
+		}
+		entry := Finding{
+			Prefix:   f.Prefix.String(),
+			ASN:      f.ASN,
+			ASName:   name,
+			Category: cat,
+			Replicas: f.Result.Count(),
+			Cities:   f.Result.Cities(),
+		}
+		s.findings = append(s.findings, entry)
+		for _, r := range f.Result.Replicas {
+			rep := replica{viaVP: r.VP, located: r.Located}
+			if r.Located {
+				rep.city, rep.cc = r.City.Name, r.City.CC
+				rep.lat, rep.lon = r.City.Loc.Lat, r.City.Loc.Lon
+			} else {
+				rep.lat, rep.lon = r.Disk.Center.Lat, r.Disk.Center.Lon
+			}
+			s.replicas[entry.Prefix] = append(s.replicas[entry.Prefix], rep)
+		}
+	}
+	sort.Slice(s.findings, func(i, j int) bool {
+		if s.findings[i].Replicas != s.findings[j].Replicas {
+			return s.findings[i].Replicas > s.findings[j].Replicas
+		}
+		return s.findings[i].Prefix < s.findings[j].Prefix
+	})
+
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/findings", s.handleFindings)
+	s.mux.HandleFunc("GET /api/geojson", s.handleGeoJSON)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","findings":%d}`, len(s.findings))
+}
+
+// handleIndex renders the HTML table.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	limit := 200
+	if len(s.findings) < limit {
+		limit = len(s.findings)
+	}
+	data := struct {
+		Total    int
+		Shown    int
+		Findings []Finding
+	}{Total: len(s.findings), Shown: limit, Findings: s.findings[:limit]}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := s.tmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleFindings serves the full finding list, optionally filtered by AS
+// name substring (?as=cloudflare) or minimum replicas (?min=5).
+func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
+	asFilter := strings.ToLower(r.URL.Query().Get("as"))
+	min := 0
+	if _, err := fmt.Sscanf(r.URL.Query().Get("min"), "%d", &min); err != nil {
+		min = 0
+	}
+	out := make([]Finding, 0, len(s.findings))
+	for _, f := range s.findings {
+		if asFilter != "" && !strings.Contains(strings.ToLower(f.ASName), asFilter) {
+			continue
+		}
+		if f.Replicas < min {
+			continue
+		}
+		out = append(out, f)
+	}
+	writeJSON(w, out)
+}
+
+// geoJSON types, the subset of RFC 7946 the browser needs.
+type geoJSONFeature struct {
+	Type       string         `json:"type"`
+	Geometry   geoJSONPoint   `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+type geoJSONPoint struct {
+	Type        string     `json:"type"`
+	Coordinates [2]float64 `json:"coordinates"` // lon, lat per RFC 7946
+}
+
+type geoJSONCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+// handleGeoJSON serves one deployment's replicas as a FeatureCollection
+// (?prefix=188.114.97.0/24).
+func (s *Server) handleGeoJSON(w http.ResponseWriter, r *http.Request) {
+	prefix := r.URL.Query().Get("prefix")
+	if prefix == "" {
+		http.Error(w, "missing ?prefix=", http.StatusBadRequest)
+		return
+	}
+	if _, err := netsim.ParsePrefix24(prefix); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	reps, ok := s.replicas[prefix]
+	if !ok {
+		http.Error(w, "prefix not in the census results", http.StatusNotFound)
+		return
+	}
+	coll := geoJSONCollection{Type: "FeatureCollection"}
+	for _, rep := range reps {
+		props := map[string]any{"via": rep.viaVP, "located": rep.located}
+		if rep.located {
+			props["city"] = rep.city
+			props["cc"] = rep.cc
+		}
+		coll.Features = append(coll.Features, geoJSONFeature{
+			Type:       "Feature",
+			Geometry:   geoJSONPoint{Type: "Point", Coordinates: [2]float64{rep.lon, rep.lat}},
+			Properties: props,
+		})
+	}
+	writeJSON(w, coll)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

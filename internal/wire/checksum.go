@@ -1,0 +1,42 @@
+// Package wire implements the on-the-wire packet formats the measurement
+// system exchanges: IPv4 headers (RFC 791), ICMP echo and destination
+// unreachable messages (RFC 792), and the DNS message subset (RFC 1035,
+// plus the CHAOS-class TXT queries of the Fan et al. baseline). The
+// simulator's probers serialize real packets through these codecs - the
+// Fastping payload signature of Sec. 3.3 lives in the ICMP payload - so the
+// measurement path exercises the same parsing any libpcap-based deployment
+// would.
+package wire
+
+// Checksum computes the Internet checksum (RFC 1071): the 16-bit one's
+// complement of the one's complement sum of the data, padding an odd-length
+// buffer with a zero byte.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// VerifyChecksum reports whether a buffer containing its own checksum field
+// sums to the all-ones pattern, i.e. validates.
+func VerifyChecksum(b []byte) bool {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return uint16(sum) == 0xFFFF
+}

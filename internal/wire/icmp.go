@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP message types used by the census (RFC 792).
+const (
+	ICMPEchoReply    = 0
+	ICMPDestUnreach  = 3
+	ICMPEchoRequest  = 8
+	ICMPTimeExceeded = 11
+)
+
+// Destination-unreachable codes relevant to the greylist (RFC 1122 and
+// RFC 1812): the census encounters codes 9, 10 and 13 (Sec. 3.3).
+const (
+	CodeNetProhibited  = 9
+	CodeHostProhibited = 10
+	CodeAdminFiltered  = 13
+)
+
+// FastpingSignature is the payload marker of Sec. 3.3: a good measurement
+// citizen identifies itself, pointing operators at the project page so they
+// can request exclusion.
+const FastpingSignature = "anycastmap-census see https://example.org/anycastmap"
+
+// ICMPEcho is an echo request or reply.
+type ICMPEcho struct {
+	Reply   bool
+	ID, Seq uint16
+	Payload []byte
+}
+
+// Marshal serializes the message with a valid checksum.
+func (m *ICMPEcho) Marshal() []byte {
+	b := make([]byte, 8+len(m.Payload))
+	if m.Reply {
+		b[0] = ICMPEchoReply
+	} else {
+		b[0] = ICMPEchoRequest
+	}
+	binary.BigEndian.PutUint16(b[4:6], m.ID)
+	binary.BigEndian.PutUint16(b[6:8], m.Seq)
+	copy(b[8:], m.Payload)
+	binary.BigEndian.PutUint16(b[2:4], Checksum(b))
+	return b
+}
+
+// HasSignature reports whether the payload carries the Fastping signature.
+func (m *ICMPEcho) HasSignature() bool {
+	return bytes.HasPrefix(m.Payload, []byte(FastpingSignature))
+}
+
+// ICMPDestUnreachable is a type-3 error quoting the offending datagram.
+type ICMPDestUnreachable struct {
+	Code uint8
+	// Original is the embedded IP header + first 8 payload bytes of the
+	// datagram that triggered the error (RFC 792 requires them; the
+	// greylist uses them to attribute errors to probes).
+	Original []byte
+}
+
+// Marshal serializes the error message with a valid checksum.
+func (m *ICMPDestUnreachable) Marshal() []byte {
+	b := make([]byte, 8+len(m.Original))
+	b[0] = ICMPDestUnreach
+	b[1] = m.Code
+	copy(b[8:], m.Original)
+	binary.BigEndian.PutUint16(b[2:4], Checksum(b))
+	return b
+}
+
+// ICMPMessage is the decoded form of any ICMP message the prober handles.
+type ICMPMessage struct {
+	Type, Code uint8
+	Echo       *ICMPEcho            // set for echo request/reply
+	Unreach    *ICMPDestUnreachable // set for destination unreachable
+}
+
+// ParseICMP decodes an ICMP message, validating length and checksum.
+func ParseICMP(b []byte) (ICMPMessage, error) {
+	if len(b) < 8 {
+		return ICMPMessage{}, fmt.Errorf("wire: ICMP message truncated at %d bytes", len(b))
+	}
+	if !VerifyChecksum(b) {
+		return ICMPMessage{}, fmt.Errorf("wire: ICMP checksum mismatch")
+	}
+	msg := ICMPMessage{Type: b[0], Code: b[1]}
+	switch msg.Type {
+	case ICMPEchoRequest, ICMPEchoReply:
+		if msg.Code != 0 {
+			return ICMPMessage{}, fmt.Errorf("wire: echo with nonzero code %d", msg.Code)
+		}
+		msg.Echo = &ICMPEcho{
+			Reply:   msg.Type == ICMPEchoReply,
+			ID:      binary.BigEndian.Uint16(b[4:6]),
+			Seq:     binary.BigEndian.Uint16(b[6:8]),
+			Payload: b[8:],
+		}
+	case ICMPDestUnreach:
+		msg.Unreach = &ICMPDestUnreachable{Code: msg.Code, Original: b[8:]}
+	}
+	return msg, nil
+}
+
+// BuildEchoRequest assembles a complete IPv4 + ICMP echo request datagram
+// as Fastping would put it on the wire, with the census signature in the
+// payload.
+func BuildEchoRequest(src, dst uint32, id, seq uint16) ([]byte, error) {
+	echo := &ICMPEcho{ID: id, Seq: seq, Payload: []byte(FastpingSignature)}
+	hdr := &IPv4Header{TTL: 64, Protocol: ProtoICMP, Src: src, Dst: dst}
+	return hdr.Marshal(echo.Marshal())
+}
+
+// BuildEchoReply assembles the matching reply a responsive target emits,
+// echoing the request's identifier, sequence number and payload.
+func BuildEchoReply(req []byte) ([]byte, error) {
+	hdr, payload, err := ParseIPv4(req)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Protocol != ProtoICMP {
+		return nil, fmt.Errorf("wire: protocol %d is not ICMP", hdr.Protocol)
+	}
+	msg, err := ParseICMP(payload)
+	if err != nil {
+		return nil, err
+	}
+	if msg.Echo == nil || msg.Echo.Reply {
+		return nil, fmt.Errorf("wire: not an echo request")
+	}
+	reply := &ICMPEcho{Reply: true, ID: msg.Echo.ID, Seq: msg.Echo.Seq, Payload: msg.Echo.Payload}
+	out := &IPv4Header{TTL: 64, Protocol: ProtoICMP, Src: hdr.Dst, Dst: hdr.Src}
+	return out.Marshal(reply.Marshal())
+}
+
+// BuildAdminProhibited assembles the router-originated type-3 error for a
+// filtered probe, quoting the first bytes of the offending datagram as
+// RFC 792 requires.
+func BuildAdminProhibited(router uint32, code uint8, offending []byte) ([]byte, error) {
+	quote := offending
+	if len(quote) > IPv4HeaderLen+8 {
+		quote = quote[:IPv4HeaderLen+8]
+	}
+	origHdr, _, err := ParseIPv4(offending)
+	if err != nil {
+		return nil, err
+	}
+	msg := &ICMPDestUnreachable{Code: code, Original: quote}
+	hdr := &IPv4Header{TTL: 64, Protocol: ProtoICMP, Src: router, Dst: origHdr.Src}
+	return hdr.Marshal(msg.Marshal())
+}

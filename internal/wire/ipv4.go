@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv4 protocol numbers used by the census.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// IPv4HeaderLen is the length of a header without options.
+const IPv4HeaderLen = 20
+
+// IPv4Header is an RFC 791 header without options.
+type IPv4Header struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // 3 bits: reserved, DF, MF
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst uint32
+}
+
+// Marshal serializes the header followed by the payload, computing total
+// length and header checksum.
+func (h *IPv4Header) Marshal(payload []byte) ([]byte, error) {
+	total := IPv4HeaderLen + len(payload)
+	if total > 0xFFFF {
+		return nil, fmt.Errorf("wire: IPv4 datagram too large (%d bytes)", total)
+	}
+	if h.FragOff > 0x1FFF {
+		return nil, fmt.Errorf("wire: fragment offset %d out of range", h.FragOff)
+	}
+	b := make([]byte, total)
+	b[0] = 4<<4 | IPv4HeaderLen/4 // version 4, IHL 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(total))
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags)<<13|h.FragOff)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	binary.BigEndian.PutUint32(b[12:16], uint32(h.Src))
+	binary.BigEndian.PutUint32(b[16:20], uint32(h.Dst))
+	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:IPv4HeaderLen]))
+	copy(b[IPv4HeaderLen:], payload)
+	return b, nil
+}
+
+// ParseIPv4 decodes a datagram, validating version, lengths and the header
+// checksum, and returns the header and payload (not copied).
+func ParseIPv4(b []byte) (IPv4Header, []byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4Header{}, nil, fmt.Errorf("wire: IPv4 datagram truncated at %d bytes", len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return IPv4Header{}, nil, fmt.Errorf("wire: IP version %d, want 4", v)
+	}
+	ihl := int(b[0]&0x0F) * 4
+	if ihl < IPv4HeaderLen || ihl > len(b) {
+		return IPv4Header{}, nil, fmt.Errorf("wire: bad IHL %d", ihl)
+	}
+	if !VerifyChecksum(b[:ihl]) {
+		return IPv4Header{}, nil, fmt.Errorf("wire: IPv4 header checksum mismatch")
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < ihl || total > len(b) {
+		return IPv4Header{}, nil, fmt.Errorf("wire: total length %d inconsistent with %d bytes", total, len(b))
+	}
+	flagsFrag := binary.BigEndian.Uint16(b[6:8])
+	h := IPv4Header{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		Flags:    uint8(flagsFrag >> 13),
+		FragOff:  flagsFrag & 0x1FFF,
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      uint32(binary.BigEndian.Uint32(b[12:16])),
+		Dst:      uint32(binary.BigEndian.Uint32(b[16:20])),
+	}
+	return h, b[ihl:total], nil
+}

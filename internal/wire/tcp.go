@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCP flag bits (RFC 793).
+const (
+	TCPFlagFIN = 1 << 0
+	TCPFlagSYN = 1 << 1
+	TCPFlagRST = 1 << 2
+	TCPFlagPSH = 1 << 3
+	TCPFlagACK = 1 << 4
+)
+
+// TCPHeaderLen is the length of a header without options.
+const TCPHeaderLen = 20
+
+// TCPHeader is an RFC 793 header without options; the portscanner only
+// exchanges bare SYN / SYN-ACK / RST segments.
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+}
+
+// Marshal serializes the header, computing the checksum over the IPv4
+// pseudo-header for the given addresses.
+func (h *TCPHeader) Marshal(srcIP, dstIP uint32) []byte {
+	b := make([]byte, TCPHeaderLen)
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], h.Seq)
+	binary.BigEndian.PutUint32(b[8:12], h.Ack)
+	b[12] = (TCPHeaderLen / 4) << 4 // data offset
+	b[13] = h.Flags
+	binary.BigEndian.PutUint16(b[14:16], h.Window)
+	binary.BigEndian.PutUint16(b[16:18], tcpChecksum(b, srcIP, dstIP))
+	return b
+}
+
+// tcpChecksum computes the segment checksum including the pseudo-header.
+func tcpChecksum(seg []byte, srcIP, dstIP uint32) uint16 {
+	pseudo := make([]byte, 12+len(seg))
+	binary.BigEndian.PutUint32(pseudo[0:4], srcIP)
+	binary.BigEndian.PutUint32(pseudo[4:8], dstIP)
+	pseudo[9] = ProtoTCP
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(seg)))
+	copy(pseudo[12:], seg)
+	// Zero the checksum field position within the copied segment.
+	pseudo[12+16] = 0
+	pseudo[12+17] = 0
+	return Checksum(pseudo)
+}
+
+// ParseTCP decodes a segment, validating length and the pseudo-header
+// checksum for the given addresses.
+func ParseTCP(b []byte, srcIP, dstIP uint32) (TCPHeader, error) {
+	if len(b) < TCPHeaderLen {
+		return TCPHeader{}, fmt.Errorf("wire: TCP segment truncated at %d bytes", len(b))
+	}
+	off := int(b[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(b) {
+		return TCPHeader{}, fmt.Errorf("wire: bad TCP data offset %d", off)
+	}
+	got := binary.BigEndian.Uint16(b[16:18])
+	if want := tcpChecksum(b, srcIP, dstIP); got != want {
+		return TCPHeader{}, fmt.Errorf("wire: TCP checksum %#04x, want %#04x", got, want)
+	}
+	return TCPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   b[13],
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+	}, nil
+}
+
+// BuildSYN assembles the IPv4 + TCP SYN probe of the portscan campaign.
+func BuildSYN(srcIP, dstIP uint32, srcPort, dstPort uint16, seq uint32) ([]byte, error) {
+	tcp := &TCPHeader{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Flags: TCPFlagSYN, Window: 65535}
+	hdr := &IPv4Header{TTL: 64, Protocol: ProtoTCP, Src: srcIP, Dst: dstIP}
+	return hdr.Marshal(tcp.Marshal(srcIP, dstIP))
+}
+
+// BuildSYNACKResponse assembles the reply to a SYN probe: a SYN-ACK when
+// the port is open, an RST-ACK when it is closed.
+func BuildSYNACKResponse(synPkt []byte, open bool, serverSeq uint32) ([]byte, error) {
+	hdr, payload, err := ParseIPv4(synPkt)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Protocol != ProtoTCP {
+		return nil, fmt.Errorf("wire: protocol %d is not TCP", hdr.Protocol)
+	}
+	syn, err := ParseTCP(payload, hdr.Src, hdr.Dst)
+	if err != nil {
+		return nil, err
+	}
+	if syn.Flags&TCPFlagSYN == 0 || syn.Flags&TCPFlagACK != 0 {
+		return nil, fmt.Errorf("wire: not a SYN probe (flags %#02x)", syn.Flags)
+	}
+	flags := uint8(TCPFlagRST | TCPFlagACK)
+	if open {
+		flags = TCPFlagSYN | TCPFlagACK
+	}
+	resp := &TCPHeader{
+		SrcPort: syn.DstPort,
+		DstPort: syn.SrcPort,
+		Seq:     serverSeq,
+		Ack:     syn.Seq + 1,
+		Flags:   flags,
+		Window:  65535,
+	}
+	out := &IPv4Header{TTL: 64, Protocol: ProtoTCP, Src: hdr.Dst, Dst: hdr.Src}
+	return out.Marshal(resp.Marshal(hdr.Dst, hdr.Src))
+}
+
+// PortOpen decodes a SYN-probe response: true for SYN-ACK, false for RST.
+func PortOpen(respPkt []byte) (bool, error) {
+	hdr, payload, err := ParseIPv4(respPkt)
+	if err != nil {
+		return false, err
+	}
+	if hdr.Protocol != ProtoTCP {
+		return false, fmt.Errorf("wire: protocol %d is not TCP", hdr.Protocol)
+	}
+	tcp, err := ParseTCP(payload, hdr.Src, hdr.Dst)
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case tcp.Flags&TCPFlagSYN != 0 && tcp.Flags&TCPFlagACK != 0:
+		return true, nil
+	case tcp.Flags&TCPFlagRST != 0:
+		return false, nil
+	}
+	return false, fmt.Errorf("wire: unexpected TCP flags %#02x", tcp.Flags)
+}

@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"testing"
+)
+
+func TestTCPRoundTrip(t *testing.T) {
+	src, dst := uint32(0x0A000001), uint32(0x08080808)
+	h := &TCPHeader{SrcPort: 54321, DstPort: 443, Seq: 0xDEADBEEF, Ack: 0, Flags: TCPFlagSYN, Window: 65535}
+	seg := h.Marshal(src, dst)
+	got, err := ParseTCP(seg, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != *h {
+		t.Fatalf("round trip: %+v vs %+v", got, *h)
+	}
+}
+
+func TestTCPChecksumCoversPseudoHeader(t *testing.T) {
+	src, dst := uint32(1), uint32(2)
+	h := &TCPHeader{SrcPort: 1, DstPort: 80, Flags: TCPFlagSYN}
+	seg := h.Marshal(src, dst)
+	// The same bytes validated against different addresses must fail:
+	// that is the point of the pseudo-header.
+	if _, err := ParseTCP(seg, src, dst+1); err == nil {
+		t.Error("segment accepted with wrong pseudo-header addresses")
+	}
+	// Corruption detection.
+	seg[0] ^= 0xFF
+	if _, err := ParseTCP(seg, src, dst); err == nil {
+		t.Error("corrupted segment accepted")
+	}
+	if _, err := ParseTCP(seg[:10], src, dst); err == nil {
+		t.Error("truncated segment accepted")
+	}
+}
+
+func TestSYNHandshakeFlow(t *testing.T) {
+	srcIP, dstIP := uint32(0x0A000001), uint32(0x08080808)
+	syn, err := BuildSYN(srcIP, dstIP, 40001, 443, 7777)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open port: SYN-ACK with our sequence acknowledged.
+	synack, err := BuildSYNACKResponse(syn, true, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := PortOpen(synack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !open {
+		t.Error("SYN-ACK decoded as closed")
+	}
+	hdr, payload, _ := ParseIPv4(synack)
+	if hdr.Src != dstIP || hdr.Dst != srcIP {
+		t.Error("response addressing not swapped")
+	}
+	tcp, err := ParseTCP(payload, hdr.Src, hdr.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcp.Ack != 7778 {
+		t.Errorf("SYN-ACK acks %d, want seq+1 = 7778", tcp.Ack)
+	}
+	if tcp.SrcPort != 443 || tcp.DstPort != 40001 {
+		t.Error("response ports not swapped")
+	}
+
+	// Closed port: RST.
+	rst, err := BuildSYNACKResponse(syn, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err = PortOpen(rst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open {
+		t.Error("RST decoded as open")
+	}
+}
+
+func TestSYNACKRejectsNonSYN(t *testing.T) {
+	srcIP, dstIP := uint32(1), uint32(2)
+	syn, _ := BuildSYN(srcIP, dstIP, 1, 80, 1)
+	synack, _ := BuildSYNACKResponse(syn, true, 9)
+	// Responding to a SYN-ACK is a protocol error here.
+	if _, err := BuildSYNACKResponse(synack, true, 9); err == nil {
+		t.Error("responded to a SYN-ACK")
+	}
+	// Responding to an ICMP datagram is too.
+	icmp, _ := BuildEchoRequest(srcIP, dstIP, 1, 1)
+	if _, err := BuildSYNACKResponse(icmp, true, 9); err == nil {
+		t.Error("responded to an ICMP datagram")
+	}
+}
+
+func TestPortOpenRejectsGarbage(t *testing.T) {
+	if _, err := PortOpen([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage accepted")
+	}
+	icmp, _ := BuildEchoRequest(1, 2, 1, 1)
+	if _, err := PortOpen(icmp); err == nil {
+		t.Error("ICMP datagram accepted as TCP response")
+	}
+}
+
+func FuzzParseTCP(f *testing.F) {
+	h := &TCPHeader{SrcPort: 1, DstPort: 80, Flags: TCPFlagSYN}
+	f.Add(h.Marshal(1, 2), uint32(1), uint32(2))
+	f.Add([]byte{}, uint32(0), uint32(0))
+	f.Fuzz(func(t *testing.T, data []byte, src, dst uint32) {
+		h, err := ParseTCP(data, src, dst)
+		if err != nil {
+			return
+		}
+		again, err := ParseTCP(h.Marshal(src, dst), src, dst)
+		if err != nil || again != h {
+			t.Fatalf("TCP round trip diverged: %+v vs %+v (%v)", h, again, err)
+		}
+	})
+}
+
+func BenchmarkSYNHandshake(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		syn, _ := BuildSYN(1, 2, 40000, 443, uint32(i))
+		resp, _ := BuildSYNACKResponse(syn, true, 1)
+		if open, _ := PortOpen(resp); !open {
+			b.Fatal("closed")
+		}
+	}
+}

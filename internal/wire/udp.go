@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeaderLen is the fixed UDP header size (RFC 768).
+const UDPHeaderLen = 8
+
+// UDPHeader is an RFC 768 header; DNS queries and CHAOS probes travel in
+// UDP datagrams.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+}
+
+// Marshal serializes the header and payload with the checksum computed
+// over the IPv4 pseudo-header.
+func (h *UDPHeader) Marshal(srcIP, dstIP uint32, payload []byte) ([]byte, error) {
+	total := UDPHeaderLen + len(payload)
+	if total > 0xFFFF {
+		return nil, fmt.Errorf("wire: UDP datagram too large (%d bytes)", total)
+	}
+	b := make([]byte, total)
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], uint16(total))
+	copy(b[8:], payload)
+	ck := udpChecksum(b, srcIP, dstIP)
+	if ck == 0 {
+		ck = 0xFFFF // RFC 768: transmitted zero means "no checksum"
+	}
+	binary.BigEndian.PutUint16(b[6:8], ck)
+	return b, nil
+}
+
+func udpChecksum(dgram []byte, srcIP, dstIP uint32) uint16 {
+	pseudo := make([]byte, 12+len(dgram))
+	binary.BigEndian.PutUint32(pseudo[0:4], srcIP)
+	binary.BigEndian.PutUint32(pseudo[4:8], dstIP)
+	pseudo[9] = ProtoUDP
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(dgram)))
+	copy(pseudo[12:], dgram)
+	pseudo[12+6] = 0
+	pseudo[12+7] = 0
+	return Checksum(pseudo)
+}
+
+// ParseUDP decodes a datagram, validating length and checksum, and returns
+// the header and payload.
+func ParseUDP(b []byte, srcIP, dstIP uint32) (UDPHeader, []byte, error) {
+	if len(b) < UDPHeaderLen {
+		return UDPHeader{}, nil, fmt.Errorf("wire: UDP datagram truncated at %d bytes", len(b))
+	}
+	total := int(binary.BigEndian.Uint16(b[4:6]))
+	if total < UDPHeaderLen || total > len(b) {
+		return UDPHeader{}, nil, fmt.Errorf("wire: UDP length %d inconsistent with %d bytes", total, len(b))
+	}
+	if got := binary.BigEndian.Uint16(b[6:8]); got != 0 {
+		want := udpChecksum(b[:total], srcIP, dstIP)
+		if want == 0 {
+			want = 0xFFFF
+		}
+		if got != want {
+			return UDPHeader{}, nil, fmt.Errorf("wire: UDP checksum %#04x, want %#04x", got, want)
+		}
+	}
+	return UDPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+	}, b[UDPHeaderLen:total], nil
+}
+
+// BuildDNSQueryDatagram wraps a DNS message in UDP + IPv4, the full probe
+// a dig-style measurement emits (port 53).
+func BuildDNSQueryDatagram(srcIP, dstIP uint32, srcPort uint16, msg *DNSMessage) ([]byte, error) {
+	payload, err := msg.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	udp := &UDPHeader{SrcPort: srcPort, DstPort: 53}
+	dgram, err := udp.Marshal(srcIP, dstIP, payload)
+	if err != nil {
+		return nil, err
+	}
+	hdr := &IPv4Header{TTL: 64, Protocol: ProtoUDP, Src: srcIP, Dst: dstIP}
+	return hdr.Marshal(dgram)
+}
+
+// ParseDNSDatagram unwraps IPv4 + UDP and decodes the DNS message.
+func ParseDNSDatagram(pkt []byte) (IPv4Header, UDPHeader, DNSMessage, error) {
+	ip, payload, err := ParseIPv4(pkt)
+	if err != nil {
+		return IPv4Header{}, UDPHeader{}, DNSMessage{}, err
+	}
+	if ip.Protocol != ProtoUDP {
+		return IPv4Header{}, UDPHeader{}, DNSMessage{}, fmt.Errorf("wire: protocol %d is not UDP", ip.Protocol)
+	}
+	udp, body, err := ParseUDP(payload, ip.Src, ip.Dst)
+	if err != nil {
+		return IPv4Header{}, UDPHeader{}, DNSMessage{}, err
+	}
+	msg, err := ParseDNS(body)
+	if err != nil {
+		return IPv4Header{}, UDPHeader{}, DNSMessage{}, err
+	}
+	return ip, udp, msg, nil
+}

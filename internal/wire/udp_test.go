@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestUDPRoundTrip(t *testing.T) {
+	src, dst := uint32(0x0A000001), uint32(0x08080808)
+	h := &UDPHeader{SrcPort: 53535, DstPort: 53}
+	payload := []byte("dns goes here")
+	dgram, err := h.Marshal(src, dst, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, body, err := ParseUDP(dgram, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != *h || !bytes.Equal(body, payload) {
+		t.Fatalf("round trip: %+v %q", got, body)
+	}
+}
+
+func TestUDPChecksumValidation(t *testing.T) {
+	src, dst := uint32(1), uint32(2)
+	h := &UDPHeader{SrcPort: 1, DstPort: 53}
+	dgram, _ := h.Marshal(src, dst, []byte("x"))
+	if _, _, err := ParseUDP(dgram, src, dst+1); err == nil {
+		t.Error("wrong pseudo-header accepted")
+	}
+	dgram[8] ^= 0xFF
+	if _, _, err := ParseUDP(dgram, src, dst); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+	if _, _, err := ParseUDP(dgram[:4], src, dst); err == nil {
+		t.Error("truncated datagram accepted")
+	}
+}
+
+func TestUDPOversize(t *testing.T) {
+	h := &UDPHeader{SrcPort: 1, DstPort: 2}
+	if _, err := h.Marshal(1, 2, make([]byte, 0x10000)); err == nil {
+		t.Error("oversized datagram accepted")
+	}
+}
+
+func TestDNSDatagramFlow(t *testing.T) {
+	q, err := BuildCHAOSQuery(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ParseDNS(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := BuildDNSQueryDatagram(0x0A000001, 0x08080808, 40000, &msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, udp, dns, err := ParseDNSDatagram(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Protocol != ProtoUDP || udp.DstPort != 53 || dns.ID != 77 {
+		t.Fatalf("datagram fields: %+v %+v %+v", ip, udp, dns)
+	}
+	if dns.Questions[0].Name != HostnameBind {
+		t.Errorf("question = %+v", dns.Questions[0])
+	}
+	// An ICMP packet is not a DNS datagram.
+	icmp, _ := BuildEchoRequest(1, 2, 1, 1)
+	if _, _, _, err := ParseDNSDatagram(icmp); err == nil {
+		t.Error("ICMP accepted as DNS datagram")
+	}
+}
