@@ -15,9 +15,14 @@
 package anycastmap_test
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"anycastmap/internal/experiments"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/store"
 )
 
 func lab(b *testing.B) *experiments.Lab {
@@ -243,4 +248,156 @@ func BenchmarkFullCampaign(b *testing.B) {
 			b.Fatal("campaign found nothing")
 		}
 	}
+}
+
+// --- anycastd serving path -------------------------------------------------
+//
+// The store benchmarks measure the hot path of cmd/anycastd: classifying
+// IPs against the published census index. Cold is the O(log n) index walk
+// (every probe misses the LRU), cached is the sharded-LRU hit path, batch
+// is the bulk endpoint, and ConcurrentReadersDuringRefresh measures reader
+// throughput while fresh snapshots hot-swap underneath.
+
+var (
+	benchStoreOnce sync.Once
+	benchStore     *store.Store
+	benchIPs       []netsim.IP // alternating anycast / unicast addresses
+)
+
+func benchServing(b *testing.B) (*store.Store, []netsim.IP) {
+	b.Helper()
+	l := experiments.DefaultLab()
+	benchStoreOnce.Do(func() {
+		benchStore = store.New(store.Options{CacheSize: 1 << 16})
+		benchStore.Publish(store.NewSnapshot(l.Findings, l.World.Registry, 4, 4))
+		for i, f := range l.Findings {
+			benchIPs = append(benchIPs, f.Prefix.Host(byte(i)))
+			// An address one /24 above is unicast with overwhelming
+			// probability: the negative lookup path.
+			benchIPs = append(benchIPs, (f.Prefix + 1).Host(byte(i)))
+		}
+	})
+	b.ResetTimer()
+	return benchStore, benchIPs
+}
+
+func reportLookupRate(b *testing.B, lookups int) {
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(lookups)/sec, "lookups/s")
+	}
+}
+
+// BenchmarkStoreLookupCold measures the uncached index path: the snapshot
+// binary search every LRU miss falls back to.
+func BenchmarkStoreLookupCold(b *testing.B) {
+	st, ips := benchServing(b)
+	snap := st.Current()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		_, ok := snap.Lookup(ips[i%len(ips)])
+		if i%2 == 0 && !ok {
+			b.Fatal("anycast IP missed the index")
+		}
+		n++
+	}
+	reportLookupRate(b, n)
+}
+
+// BenchmarkStoreLookupCached hammers one hot IP: after the first miss,
+// every lookup is an LRU hit.
+func BenchmarkStoreLookupCached(b *testing.B) {
+	st, ips := benchServing(b)
+	hot := ips[0]
+	for i := 0; i < b.N; i++ {
+		if ans := st.Lookup(hot); !ans.Anycast {
+			b.Fatal("hot anycast IP classified unicast")
+		}
+	}
+	reportLookupRate(b, b.N)
+}
+
+// BenchmarkStoreLookupMixed cycles through more distinct IPs than fit the
+// serving flow of real traffic: a blend of hits, misses and evictions.
+func BenchmarkStoreLookupMixed(b *testing.B) {
+	st, ips := benchServing(b)
+	for i := 0; i < b.N; i++ {
+		st.Lookup(ips[i%len(ips)])
+	}
+	reportLookupRate(b, b.N)
+}
+
+// BenchmarkStoreLookupBatch measures the bulk endpoint's per-IP cost with
+// 1024-address batches.
+func BenchmarkStoreLookupBatch(b *testing.B) {
+	st, ips := benchServing(b)
+	batch := make([]netsim.IP, 1024)
+	for i := range batch {
+		batch[i] = ips[i%len(ips)]
+	}
+	total := 0
+	for i := 0; i < b.N; i++ {
+		answers := st.LookupBatch(batch)
+		if len(answers) != len(batch) {
+			b.Fatal("short batch answer")
+		}
+		total += len(answers)
+	}
+	reportLookupRate(b, total)
+}
+
+// BenchmarkStoreConcurrentReadersDuringRefresh measures parallel reader
+// throughput while a background goroutine keeps rebuilding and
+// hot-swapping snapshots — the zero-downtime refresh claim as a number.
+func BenchmarkStoreConcurrentReadersDuringRefresh(b *testing.B) {
+	l := experiments.DefaultLab()
+	st := store.New(store.Options{CacheSize: 1 << 16})
+	st.Publish(store.NewSnapshot(l.Findings, l.World.Registry, 4, 4))
+	var ips []netsim.IP
+	for i, f := range l.Findings {
+		ips = append(ips, f.Prefix.Host(byte(i)))
+	}
+
+	stop := make(chan struct{})
+	var swaps atomic.Uint64
+	var swapperWg sync.WaitGroup
+	swapperWg.Add(1)
+	go func() {
+		defer swapperWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				// A fresh snapshot each time: published snapshots are
+				// immutable, so re-publishing one is not allowed.
+				st.Publish(store.NewSnapshot(l.Findings, l.World.Registry, 4, 4))
+				swaps.Add(1)
+			}
+		}
+	}()
+
+	b.ResetTimer()
+	var n atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ans := st.Lookup(ips[i%len(ips)])
+			if !ans.Anycast {
+				b.Error("anycast IP classified unicast during refresh")
+				return
+			}
+			i++
+			n.Add(1)
+		}
+	})
+	b.StopTimer()
+	// Let the swapper land at least one snapshot before stopping so the
+	// metric below is meaningful even on the tiny calibration runs.
+	for swaps.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(stop)
+	swapperWg.Wait()
+	reportLookupRate(b, int(n.Load()))
+	b.ReportMetric(float64(swaps.Load())/b.Elapsed().Seconds(), "swaps/s")
 }

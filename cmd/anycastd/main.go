@@ -1,0 +1,121 @@
+// Command anycastd is the anycast lookup daemon: the paper's public
+// anycast map ([21]) served as a high-QPS classification API. At startup
+// it builds the world, seeds the probing blacklist, runs a first census
+// campaign, and then answers
+//
+//	GET  /v1/lookup?ip=188.114.97.7     one IP  -> anycast? AS, replicas, cities
+//	POST /v1/lookup/batch               JSON list of IPs -> one answer each
+//	GET  /v1/snapshot                   index version, census round, counts
+//	GET  /v1/stats                      per-endpoint latency + cache hit rates
+//	GET  /healthz                       liveness/readiness
+//
+// while a background refresher keeps re-running census rounds and
+// hot-swaps the index with zero reader downtime: queries issued during a
+// refresh answer from the previous snapshot. SIGINT/SIGTERM drain the
+// server gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"anycastmap/internal/bgp"
+	"anycastmap/internal/census"
+	"anycastmap/internal/cities"
+	"anycastmap/internal/hitlist"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/prober"
+	"anycastmap/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address")
+	unicast := flag.Int("unicast24s", 6000, "unicast /24 background size")
+	rounds := flag.Int("censuses", 2, "census rounds combined per snapshot")
+	vpsPer := flag.Int("vps", 261, "vantage points per census round")
+	seed := flag.Uint64("seed", 2015, "world seed")
+	rate := flag.Float64("rate", 1000, "probing rate per VP (probes/s)")
+	workers := flag.Int("workers", 0, "vantage points probing concurrently (0 = GOMAXPROCS)")
+	refresh := flag.Duration("refresh", 15*time.Minute, "background census refresh interval")
+	cacheSize := flag.Int("cache", 1<<16, "LRU capacity in single-IP answers")
+	maxInFlight := flag.Int("max-inflight", 256, "maximum concurrently-served requests")
+	flag.Parse()
+	log.SetFlags(0)
+
+	wcfg := netsim.DefaultConfig()
+	wcfg.Seed = *seed
+	wcfg.Unicast24s = *unicast
+	world := netsim.New(wcfg)
+	db := cities.Default()
+	pl := platform.PlanetLab(db)
+	full := hitlist.FromWorld(world)
+	log.Printf("world: %d /24s (%d anycast), hitlist %d entries",
+		world.NumPrefixes(), len(world.Deployments()), full.Len())
+
+	// Preliminary single-VP census seeds the blacklist (Sec. 3.3).
+	black, err := prober.BuildBlacklist(world, pl.VPs()[0], full.Targets(), prober.Config{Seed: *seed})
+	if err != nil {
+		log.Fatalf("blacklist census: %v", err)
+	}
+	targets := full.PruneNeverAlive().Without(black.Targets())
+	log.Printf("blacklist: %d hosts; pruned target list: %d", black.Len(), targets.Len())
+
+	src := &store.CensusSource{
+		World:       world,
+		Cities:      db,
+		Platform:    pl,
+		Table:       bgp.FromWorld(world),
+		Registry:    world.Registry,
+		Hitlist:     targets,
+		Blacklist:   black,
+		Rounds:      *rounds,
+		VPsPerRound: *vpsPer,
+		Seed:        *seed,
+		Census:      census.Config{Seed: *seed, Rate: *rate, Workers: *workers},
+	}
+	log.Printf("probing with %d concurrent vantage points per census", src.Census.EffectiveWorkers())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	st := store.New(store.Options{CacheSize: *cacheSize})
+	r := store.NewRefresher(st, src, *refresh)
+	r.Log = log.Printf
+
+	// First snapshot synchronously, so the daemon comes up ready.
+	start := time.Now()
+	log.Printf("building initial snapshot (%d census rounds)...", *rounds)
+	if !r.RefreshOnce(ctx) {
+		log.Fatalf("initial census failed after %v", time.Since(start).Round(time.Millisecond))
+	}
+	go r.Run(ctx)
+
+	api := store.NewAPI(st, r, store.APIConfig{MaxInFlight: *maxInFlight})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		<-ctx.Done()
+		log.Printf("signal received, draining...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("anycastd serving on http://%s/ (refresh every %v)", *addr, *refresh)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	log.Printf("bye: %d lookups served, cache hit rate %.1f%%",
+		st.Stats().Lookups, st.Stats().HitRate*100)
+}

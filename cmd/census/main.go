@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +34,7 @@ func main() {
 	vpsPer := flag.Int("vps", 261, "vantage points per census")
 	seed := flag.Uint64("seed", 2015, "world seed")
 	rate := flag.Float64("rate", 1000, "probing rate per VP (probes/s)")
+	workers := flag.Int("workers", 0, "vantage points probing concurrently (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "directory to dump per-VP measurement files")
 	save := flag.String("save", "", "directory to save the census runs (loadable with census.LoadRun)")
 	format := flag.String("format", "binary", "record format for -out: binary or csv")
@@ -55,15 +57,24 @@ func main() {
 		world.NumPrefixes(), len(world.Deployments()), full.Len())
 
 	// Preliminary single-VP census builds the blacklist (Sec. 3.3).
-	black := prober.BuildBlacklist(world, pl.VPs()[0], full.Targets(), prober.Config{Seed: *seed})
+	black, err := prober.BuildBlacklist(world, pl.VPs()[0], full.Targets(), prober.Config{Seed: *seed})
+	if err != nil {
+		log.Fatalf("blacklist census: %v", err)
+	}
 	targets := full.PruneNeverAlive().Without(black.Targets())
 	log.Printf("blacklist: %d hosts; pruned target list: %d", black.Len(), targets.Len())
+
+	ccfg := census.Config{Seed: *seed, Rate: *rate, Workers: *workers}
+	log.Printf("probing with %d concurrent vantage points", ccfg.EffectiveWorkers())
 
 	var runs []*census.Run
 	for round := 1; round <= *rounds; round++ {
 		vps := pl.Sample(*vpsPer, *seed+uint64(round))
 		t0 := time.Now()
-		run := census.Execute(world, vps, targets, black, uint64(round), census.Config{Seed: *seed, Rate: *rate})
+		run, err := census.ExecuteContext(context.Background(), world, vps, targets, black, uint64(round), ccfg)
+		if err != nil {
+			log.Printf("census %d: probing errors (partial rows kept): %v", round, err)
+		}
 		log.Printf("census %d: %d VPs, %d probes, %d echo targets, %d greylisted (%v)",
 			round, len(vps), run.TotalProbes(), run.EchoTargets(), run.Greylist.Len(),
 			time.Since(t0).Round(time.Millisecond))
@@ -139,12 +150,14 @@ func dump(world *netsim.World, pl *platform.Platform, targets *hitlist.Hitlist, 
 		default:
 			w = record.NewBinaryWriter(f)
 		}
-		prober.Run(world, vp, targets.Targets(), black, prober.Config{Seed: seed, Round: 1},
+		if _, _, err := prober.Run(world, vp, targets.Targets(), black, prober.Config{Seed: seed, Round: 1},
 			func(s record.Sample) {
 				if err := w.Write(s); err != nil {
 					log.Fatalf("write %s: %v", name, err)
 				}
-			})
+			}); err != nil {
+			return fmt.Errorf("probe from %s: %w", vp.Name, err)
+		}
 		if err := w.Flush(); err != nil {
 			return err
 		}

@@ -2,15 +2,24 @@
 // browsing, the equivalent of the paper's public dataset site ([21]):
 // an HTML index at /, a JSON API at /api/findings, and per-deployment
 // GeoJSON at /api/geojson?prefix=A.B.C.0/24.
+//
+// The browser reads from the same hot-swappable store that backs
+// cmd/anycastd; with -refresh > 0 a background refresher re-runs census
+// rounds and the page picks up the new results without a restart.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"anycastmap/internal/census"
 	"anycastmap/internal/experiments"
+	"anycastmap/internal/store"
 	"anycastmap/internal/webview"
 )
 
@@ -19,6 +28,7 @@ func main() {
 	unicast := flag.Int("unicast24s", 6000, "unicast /24 background size for the campaign")
 	censuses := flag.Int("censuses", 4, "census rounds")
 	seed := flag.Uint64("seed", 2015, "world seed")
+	refresh := flag.Duration("refresh", 0, "re-run censuses and hot-swap the index at this interval (0 = static)")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -32,7 +42,33 @@ func main() {
 	lab := experiments.NewLab(cfg)
 	log.Printf("campaign done in %v: %d anycast /24s detected", time.Since(start).Round(time.Millisecond), len(lab.Findings))
 
-	srv, err := webview.New(lab.Findings, lab.World.Registry)
+	st := store.New(store.Options{})
+	st.Publish(store.NewSnapshot(lab.Findings, lab.World.Registry, uint64(cfg.Censuses), cfg.Censuses))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *refresh > 0 {
+		src := &store.CensusSource{
+			World:     lab.World,
+			Cities:    lab.Cities,
+			Platform:  lab.PL,
+			Table:     lab.Table,
+			Registry:  lab.World.Registry,
+			Hitlist:   lab.Hitlist,
+			Blacklist: lab.Black,
+			Rounds:    2,
+			Seed:      cfg.Seed,
+			Census:    census.Config{Seed: cfg.Seed},
+		}
+		src.SetRound(uint64(cfg.Censuses)) // the startup campaign used rounds 1..N
+		r := store.NewRefresher(st, src, *refresh)
+		r.Log = log.Printf
+		go r.Run(ctx)
+		log.Printf("background refresh every %v", *refresh)
+	}
+
+	srv, err := webview.New(st)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,5 +78,13 @@ func main() {
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx)
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
 }

@@ -11,6 +11,7 @@ package census
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,7 +41,9 @@ type Config struct {
 	Workers int
 }
 
-func (c Config) workers() int {
+// EffectiveWorkers resolves the configured worker count: Workers when
+// positive, GOMAXPROCS otherwise.
+func (c Config) EffectiveWorkers() int {
 	if c.Workers > 0 {
 		return c.Workers
 	}
@@ -58,21 +61,28 @@ type Run struct {
 	RTTus    [][]int32
 	Stats    []prober.Stats
 	Greylist *prober.Greylist
+
+	// echoTargets memoizes EchoTargets: the full V×T scan is too
+	// expensive for the per-round logging path of cmd/census.
+	echoOnce    sync.Once
+	echoTargets int
 }
 
 // EchoTargets returns how many targets returned an echo reply to at least
-// one vantage point.
+// one vantage point. The count is computed once and memoized; the latency
+// matrix is immutable after ExecuteContext returns.
 func (r *Run) EchoTargets() int {
-	n := 0
-	for t := range r.Targets {
-		for v := range r.VPs {
-			if r.RTTus[v][t] >= 0 {
-				n++
-				break
+	r.echoOnce.Do(func() {
+		for t := range r.Targets {
+			for v := range r.VPs {
+				if r.RTTus[v][t] >= 0 {
+					r.echoTargets++
+					break
+				}
 			}
 		}
-	}
-	return n
+	})
+	return r.echoTargets
 }
 
 // TotalProbes returns the number of probes sent across all VPs.
@@ -103,7 +113,9 @@ func Execute(w *netsim.World, vps []platform.VP, h *hitlist.Hitlist, blacklist *
 
 // ExecuteContext is Execute with cancellation: when ctx is cancelled,
 // in-flight vantage points finish and the rest are skipped; the partial run
-// is returned together with the context's error.
+// is returned together with the context's error. Per-VP probing failures
+// (prober wire-path errors) do not stop the other vantage points; they are
+// joined into the returned error, with the failing VP's partial row kept.
 func ExecuteContext(ctx context.Context, w *netsim.World, vps []platform.VP, h *hitlist.Hitlist, blacklist *prober.Greylist, round uint64, cfg Config) (*Run, error) {
 	targets := h.Targets()
 	targetIdx := make(map[netsim.IP]int, len(targets))
@@ -120,9 +132,10 @@ func ExecuteContext(ctx context.Context, w *netsim.World, vps []platform.VP, h *
 		Greylist: prober.NewGreylist(),
 	}
 
-	sem := make(chan struct{}, cfg.workers())
+	sem := make(chan struct{}, cfg.EffectiveWorkers())
 	var wg sync.WaitGroup
 	var greyMu sync.Mutex
+	vpErrs := make([]error, len(vps))
 	for vi := range vps {
 		if ctx.Err() != nil {
 			break
@@ -143,7 +156,7 @@ func ExecuteContext(ctx context.Context, w *netsim.World, vps []platform.VP, h *
 			for i := range row {
 				row[i] = noSample
 			}
-			stats, grey := prober.Run(w, vps[vi], targets, blacklist,
+			stats, grey, err := prober.Run(w, vps[vi], targets, blacklist,
 				prober.Config{Rate: cfg.Rate, Round: round, Seed: cfg.Seed},
 				func(s record.Sample) {
 					if s.Kind != netsim.ReplyEcho {
@@ -157,6 +170,9 @@ func ExecuteContext(ctx context.Context, w *netsim.World, vps []platform.VP, h *
 						row[ti] = int32(us)
 					}
 				})
+			if err != nil {
+				vpErrs[vi] = fmt.Errorf("census: VP %s: %w", vps[vi].Name, err)
+			}
 			run.RTTus[vi] = row
 			run.Stats[vi] = stats
 			greyMu.Lock()
@@ -172,7 +188,10 @@ func ExecuteContext(ctx context.Context, w *netsim.World, vps []platform.VP, h *
 			run.Stats[vi] = prober.Stats{VP: vps[vi]}
 		}
 	}
-	return run, ctx.Err()
+	// Prime the memoized echo count while the run is still hot in cache;
+	// cmd/census logs it after every round.
+	run.EchoTargets()
+	return run, errors.Join(append(vpErrs, ctx.Err())...)
 }
 
 // emptyRow returns an all-noSample row.

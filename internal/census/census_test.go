@@ -204,7 +204,10 @@ func TestCombinationIncreasesRecall(t *testing.T) {
 
 func TestExecuteWithBlacklistShrinksErrors(t *testing.T) {
 	w, h, vps, _, _ := testbed(t)
-	bl := prober.BuildBlacklist(w, vps[0], h.Targets(), prober.Config{Seed: 9})
+	bl, err := prober.BuildBlacklist(w, vps[0], h.Targets(), prober.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	run := Execute(w, vps[:10], h, bl, 3, Config{Seed: 9})
 	// Errors seen during the census exclude everything the preliminary
 	// blacklist caught from the same probing behaviour.

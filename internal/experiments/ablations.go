@@ -94,8 +94,11 @@ func (l *Lab) AblateRate(rates []float64) RateAblation {
 	for _, rate := range rates {
 		echo, dropped, sent := 0, 0, 0
 		for _, vp := range vps {
-			stats, _ := prober.Run(l.World, vp, targets, l.Black,
+			stats, _, err := prober.Run(l.World, vp, targets, l.Black,
 				prober.Config{Seed: l.Config.Seed, Round: 9, Rate: rate}, nil)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: rate ablation: %v", err))
+			}
 			echo += stats.Echo
 			dropped += stats.SourceDropped
 			sent += stats.Sent

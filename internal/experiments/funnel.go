@@ -116,7 +116,7 @@ func (l *Lab) Table1() Table1Result {
 	bw := record.NewBinaryWriter(&bin)
 	cw := record.NewCSVWriter(&txt, vp.Name)
 	n := 0
-	prober.Run(l.World, vp, l.Hitlist.Targets(), l.Black, prober.Config{Seed: l.Config.Seed, Round: 1},
+	if _, _, err := prober.Run(l.World, vp, l.Hitlist.Targets(), l.Black, prober.Config{Seed: l.Config.Seed, Round: 1},
 		func(s record.Sample) {
 			n++
 			if err := bw.Write(s); err != nil {
@@ -125,7 +125,9 @@ func (l *Lab) Table1() Table1Result {
 			if err := cw.Write(s); err != nil {
 				panic(err)
 			}
-		})
+		}); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
 	bw.Flush()
 	cw.Flush()
 

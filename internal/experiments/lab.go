@@ -99,7 +99,11 @@ func NewLab(cfg LabConfig) *Lab {
 	// Workflow of Fig. 1: a preliminary single-VP census seeds the
 	// blacklist, then the pruned hitlist is probed from every live VP in
 	// each census round.
-	l.Black = prober.BuildBlacklist(l.World, l.PL.VPs()[0], l.Full.Targets(), prober.Config{Seed: cfg.Seed})
+	black, err := prober.BuildBlacklist(l.World, l.PL.VPs()[0], l.Full.Targets(), prober.Config{Seed: cfg.Seed})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: blacklist census: %v", err))
+	}
+	l.Black = black
 	l.Hitlist = l.Full.PruneNeverAlive().Without(l.Black.Targets())
 
 	for round := 0; round < cfg.Censuses; round++ {

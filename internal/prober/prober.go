@@ -138,17 +138,21 @@ func (s Stats) String() string {
 // hosts, and streams recordable samples to sink (which may be nil). It
 // returns the run statistics and the greylist additions discovered during
 // the run.
-func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, cfg Config, sink func(record.Sample)) (Stats, *Greylist) {
+//
+// A wire-path failure (packet marshal/parse) aborts the run and is
+// returned as an error together with the partial statistics, so one
+// misbehaving vantage point cannot take down a whole census.
+func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, cfg Config, sink func(record.Sample)) (Stats, *Greylist, error) {
 	stats := Stats{VP: vp}
 	found := NewGreylist()
 	n := uint64(len(targets))
 	if n == 0 {
-		return stats, found
+		return stats, found, nil
 	}
 
 	perm, err := lfsr.NewPermutation(n, detrand.Hash64(cfg.Seed, uint64(vp.ID), cfg.Round, 0x5CAB))
 	if err != nil {
-		panic(fmt.Sprintf("prober: %v", err))
+		return stats, found, fmt.Errorf("prober: %w", err)
 	}
 
 	rate := cfg.rate()
@@ -173,14 +177,14 @@ func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, c
 			src := netsim.IP(0x0A000000 | uint32(vp.ID)&0xFFFF)
 			pkt, wireReply, err := w.ExchangeICMP(vp, src, target, uint16(vp.ID), uint16(i), cfg.Round)
 			if err != nil {
-				panic(fmt.Sprintf("prober: wire path: %v", err))
+				return stats, found, fmt.Errorf("prober: wire path to %v: %w", target, err)
 			}
 			decoded, err := netsim.DecodeICMPReply(pkt)
 			if err != nil {
-				panic(fmt.Sprintf("prober: decode reply: %v", err))
+				return stats, found, fmt.Errorf("prober: decode reply from %v: %w", target, err)
 			}
 			if decoded.Kind != wireReply.Kind {
-				panic("prober: wire decode disagrees with simulation")
+				return stats, found, fmt.Errorf("prober: wire decode of %v reply disagrees with simulation (%v vs %v)", target, decoded.Kind, wireReply.Kind)
 			}
 			reply = wireReply
 		} else {
@@ -212,15 +216,15 @@ func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, c
 	}
 
 	stats.Completion = time.Duration(float64(len(targets)) / rate * vp.LoadFactor * float64(time.Second))
-	return stats, found
+	return stats, found, nil
 }
 
 // BuildBlacklist runs the preliminary single-vantage census of Sec. 3.3:
 // before probing from O(100) VPs, one census from a single VP seeds the
 // blacklist with the hosts that object to being probed.
-func BuildBlacklist(w *netsim.World, vp platform.VP, targets []netsim.IP, cfg Config) *Greylist {
-	_, grey := Run(w, vp, targets, nil, cfg, nil)
-	return grey
+func BuildBlacklist(w *netsim.World, vp platform.VP, targets []netsim.IP, cfg Config) (*Greylist, error) {
+	_, grey, err := Run(w, vp, targets, nil, cfg, nil)
+	return grey, err
 }
 
 // Snapshot returns a copy of the greylist contents for persistence.

@@ -84,11 +84,14 @@ func TestRunBasics(t *testing.T) {
 
 	var mu sync.Mutex
 	var samples []record.Sample
-	stats, grey := Run(w, vp, targets, nil, Config{Seed: 1, Round: 0}, func(s record.Sample) {
+	stats, grey, err := Run(w, vp, targets, nil, Config{Seed: 1, Round: 0}, func(s record.Sample) {
 		mu.Lock()
 		samples = append(samples, s)
 		mu.Unlock()
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if stats.Sent != len(targets) {
 		t.Errorf("sent %d, want %d", stats.Sent, len(targets))
@@ -121,7 +124,10 @@ func TestRunSkipsGreylist(t *testing.T) {
 	for _, ip := range targets[:100] {
 		skip.Add(ip, netsim.ReplyAdminFiltered)
 	}
-	stats, _ := Run(w, vp, targets, skip, Config{Seed: 1}, nil)
+	stats, _, err := Run(w, vp, targets, skip, Config{Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.Sent != 400 {
 		t.Errorf("sent %d probes, want 400 after greylist skip", stats.Sent)
 	}
@@ -134,8 +140,11 @@ func TestFastRateDropsReplies(t *testing.T) {
 	targets := h.PruneNeverAlive().Targets()
 	droppedSomewhere := false
 	for _, vp := range pl.VPs()[:12] {
-		fast, _ := Run(w, vp, targets[:2000], nil, Config{Seed: 1, Rate: 12000}, nil)
-		slow, _ := Run(w, vp, targets[:2000], nil, Config{Seed: 1, Rate: 1000}, nil)
+		fast, _, errF := Run(w, vp, targets[:2000], nil, Config{Seed: 1, Rate: 12000}, nil)
+		slow, _, errS := Run(w, vp, targets[:2000], nil, Config{Seed: 1, Rate: 1000}, nil)
+		if errF != nil || errS != nil {
+			t.Fatal(errF, errS)
+		}
 		if slow.SourceDropped != 0 {
 			t.Errorf("%s dropped replies at 1k pps", vp.Name)
 		}
@@ -166,8 +175,8 @@ func TestCompletionTimeScalesWithLoad(t *testing.T) {
 	if fastVP.Name == "" || slowVP.Name == "" {
 		t.Skip("load factor extremes not present in sample")
 	}
-	fast, _ := Run(w, fastVP, targets, nil, Config{Seed: 1}, nil)
-	slow, _ := Run(w, slowVP, targets, nil, Config{Seed: 1}, nil)
+	fast, _, _ := Run(w, fastVP, targets, nil, Config{Seed: 1}, nil)
+	slow, _, _ := Run(w, slowVP, targets, nil, Config{Seed: 1}, nil)
 	if fast.Completion >= slow.Completion {
 		t.Errorf("loaded host completed faster: %v vs %v", slow.Completion, fast.Completion)
 	}
@@ -181,8 +190,8 @@ func TestRunDeterministic(t *testing.T) {
 	w, h, pl := testbed(t)
 	vp := pl.VPs()[2]
 	targets := h.PruneNeverAlive().Targets()[:1000]
-	s1, g1 := Run(w, vp, targets, nil, Config{Seed: 7}, nil)
-	s2, g2 := Run(w, vp, targets, nil, Config{Seed: 7}, nil)
+	s1, g1, _ := Run(w, vp, targets, nil, Config{Seed: 7}, nil)
+	s2, g2, _ := Run(w, vp, targets, nil, Config{Seed: 7}, nil)
 	if s1 != s2 || g1.Len() != g2.Len() {
 		t.Error("identical runs diverged")
 	}
@@ -190,7 +199,10 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestRunEmptyTargets(t *testing.T) {
 	w, _, pl := testbed(t)
-	stats, grey := Run(w, pl.VPs()[0], nil, nil, Config{}, nil)
+	stats, grey, err := Run(w, pl.VPs()[0], nil, nil, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.Sent != 0 || grey.Len() != 0 {
 		t.Error("empty run did something")
 	}
@@ -199,7 +211,10 @@ func TestRunEmptyTargets(t *testing.T) {
 func TestBuildBlacklist(t *testing.T) {
 	w, h, pl := testbed(t)
 	targets := h.Targets()
-	bl := BuildBlacklist(w, pl.VPs()[0], targets, Config{Seed: 1})
+	bl, err := BuildBlacklist(w, pl.VPs()[0], targets, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if bl.Len() == 0 {
 		t.Fatal("blacklist empty")
 	}
@@ -209,6 +224,25 @@ func TestBuildBlacklist(t *testing.T) {
 	frac := float64(bd[netsim.ReplyAdminFiltered]) / float64(bl.Len())
 	if frac < 0.90 {
 		t.Errorf("admin-filtered greylist share = %.2f, want ~0.985", frac)
+	}
+}
+
+func TestRunWireModeMatchesFastPath(t *testing.T) {
+	// Wire mode routes probes through the packet codecs; it must agree
+	// with the fast path and report failures as errors, never panic.
+	w, h, pl := testbed(t)
+	vp := pl.VPs()[3]
+	targets := h.PruneNeverAlive().Targets()[:500]
+	fast, _, err := Run(w, vp, targets, nil, Config{Seed: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wired, _, err := Run(w, vp, targets, nil, Config{Seed: 5, Wire: true}, nil)
+	if err != nil {
+		t.Fatalf("wire path errored: %v", err)
+	}
+	if fast.Echo != wired.Echo || fast.Errors != wired.Errors || fast.Timeouts != wired.Timeouts {
+		t.Errorf("wire run diverged: fast %v vs wire %v", fast, wired)
 	}
 }
 

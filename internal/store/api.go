@@ -1,0 +1,275 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"anycastmap/internal/netsim"
+)
+
+// APIConfig tunes the HTTP layer.
+type APIConfig struct {
+	// MaxInFlight bounds concurrently-served requests; excess requests
+	// are rejected with 503 instead of queueing without bound. Zero
+	// means 256.
+	MaxInFlight int
+	// MaxBatch bounds the /v1/lookup/batch list size; zero means 1024.
+	MaxBatch int
+}
+
+func (c APIConfig) maxInFlight() int {
+	if c.MaxInFlight > 0 {
+		return c.MaxInFlight
+	}
+	return 256
+}
+
+func (c APIConfig) maxBatch() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return 1024
+}
+
+// endpointMetrics is one endpoint's latency/volume counters.
+type endpointMetrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	rejected atomic.Uint64
+	totalNs  atomic.Int64
+}
+
+// EndpointStats is the JSON shape of one endpoint's counters.
+type EndpointStats struct {
+	Requests  uint64  `json:"requests"`
+	Errors    uint64  `json:"errors"`
+	Rejected  uint64  `json:"rejected"`
+	AvgMicros float64 `json:"avg_latency_us"`
+}
+
+func (m *endpointMetrics) stats() EndpointStats {
+	st := EndpointStats{
+		Requests: m.requests.Load(),
+		Errors:   m.errors.Load(),
+		Rejected: m.rejected.Load(),
+	}
+	if st.Requests > 0 {
+		st.AvgMicros = float64(m.totalNs.Load()) / float64(st.Requests) / 1e3
+	}
+	return st
+}
+
+// API is the anycastd HTTP surface over a Store: /v1/lookup,
+// /v1/lookup/batch, /v1/snapshot, /v1/stats and /healthz. It implements
+// http.Handler.
+type API struct {
+	store     *Store
+	refresher *Refresher // optional, enriches /v1/stats
+	mux       *http.ServeMux
+	sem       chan struct{}
+	maxBatch  int
+	metrics   map[string]*endpointMetrics
+}
+
+// NewAPI builds the handler. refresher may be nil for a static index.
+func NewAPI(st *Store, refresher *Refresher, cfg APIConfig) *API {
+	a := &API{
+		store:     st,
+		refresher: refresher,
+		mux:       http.NewServeMux(),
+		sem:       make(chan struct{}, cfg.maxInFlight()),
+		maxBatch:  cfg.maxBatch(),
+		metrics:   map[string]*endpointMetrics{},
+	}
+	a.handle("GET /healthz", "healthz", a.handleHealth)
+	a.handle("GET /v1/lookup", "lookup", a.handleLookup)
+	a.handle("POST /v1/lookup/batch", "batch", a.handleBatch)
+	a.handle("GET /v1/snapshot", "snapshot", a.handleSnapshot)
+	a.handle("GET /v1/stats", "stats", a.handleStats)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+// handle registers a pattern with the concurrency bound and per-endpoint
+// latency accounting wrapped around it.
+func (a *API) handle(pattern, name string, h func(http.ResponseWriter, *http.Request) int) {
+	m := &endpointMetrics{}
+	a.metrics[name] = m
+	a.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case a.sem <- struct{}{}:
+			defer func() { <-a.sem }()
+		default:
+			m.rejected.Add(1)
+			http.Error(w, `{"error":"server at capacity"}`, http.StatusServiceUnavailable)
+			return
+		}
+		start := time.Now()
+		status := h(w, r)
+		m.requests.Add(1)
+		m.totalNs.Add(time.Since(start).Nanoseconds())
+		if status >= 400 {
+			m.errors.Add(1)
+		}
+	})
+}
+
+// LookupResponse is the JSON shape of one classification.
+type LookupResponse struct {
+	IP      string `json:"ip"`
+	Anycast bool   `json:"anycast"`
+	Prefix  string `json:"prefix,omitempty"`
+	*Entry
+	Version uint64 `json:"snapshot_version"`
+}
+
+func lookupResponse(ans Answer, withInstances bool) LookupResponse {
+	resp := LookupResponse{IP: ans.IP.String(), Anycast: ans.Anycast, Version: ans.Version}
+	if ans.Entry != nil {
+		resp.Prefix = ans.Entry.Prefix.String()
+		if withInstances {
+			resp.Entry = ans.Entry
+		} else {
+			trimmed := *ans.Entry
+			trimmed.Instances = nil
+			resp.Entry = &trimmed
+		}
+	}
+	return resp
+}
+
+func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) int {
+	if !a.store.Ready() {
+		return writeJSONStatus(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+	}
+	snap := a.store.Current()
+	return writeJSONStatus(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"version":  snap.Version(),
+		"prefixes": snap.Len(),
+	})
+}
+
+// handleLookup classifies one IP: GET /v1/lookup?ip=8.8.8.8[&instances=1].
+func (a *API) handleLookup(w http.ResponseWriter, r *http.Request) int {
+	raw := r.URL.Query().Get("ip")
+	if raw == "" {
+		return writeJSONStatus(w, http.StatusBadRequest, errBody("missing ?ip="))
+	}
+	ip, err := netsim.ParseIP(raw)
+	if err != nil {
+		return writeJSONStatus(w, http.StatusBadRequest, errBody(err.Error()))
+	}
+	if !a.store.Ready() {
+		return writeJSONStatus(w, http.StatusServiceUnavailable, errBody("no snapshot yet"))
+	}
+	ans := a.store.Lookup(ip)
+	return writeJSONStatus(w, http.StatusOK, lookupResponse(ans, r.URL.Query().Get("instances") != ""))
+}
+
+// handleBatch classifies a JSON list of IPs: POST /v1/lookup/batch with
+// body ["8.8.8.8", "1.1.1.1"] (or {"ips": [...]}).
+func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) int {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		return writeJSONStatus(w, http.StatusBadRequest, errBody(fmt.Sprintf("bad batch body: %v", err)))
+	}
+	var raw []string
+	if err := json.Unmarshal(body, &raw); err != nil {
+		// Accept the wrapped form too.
+		var alt struct {
+			IPs []string `json:"ips"`
+		}
+		if err2 := json.Unmarshal(body, &alt); err2 != nil || alt.IPs == nil {
+			return writeJSONStatus(w, http.StatusBadRequest, errBody(fmt.Sprintf("bad batch body: %v", err)))
+		}
+		raw = alt.IPs
+	}
+	if len(raw) == 0 {
+		return writeJSONStatus(w, http.StatusBadRequest, errBody("empty batch"))
+	}
+	if len(raw) > a.maxBatch {
+		return writeJSONStatus(w, http.StatusRequestEntityTooLarge,
+			errBody(fmt.Sprintf("batch of %d exceeds limit %d", len(raw), a.maxBatch)))
+	}
+	ips := make([]netsim.IP, len(raw))
+	for i, sIP := range raw {
+		ip, err := netsim.ParseIP(sIP)
+		if err != nil {
+			return writeJSONStatus(w, http.StatusBadRequest, errBody(err.Error()))
+		}
+		ips[i] = ip
+	}
+	if !a.store.Ready() {
+		return writeJSONStatus(w, http.StatusServiceUnavailable, errBody("no snapshot yet"))
+	}
+	answers := a.store.LookupBatch(ips)
+	out := make([]LookupResponse, len(answers))
+	for i, ans := range answers {
+		out[i] = lookupResponse(ans, false)
+	}
+	return writeJSONStatus(w, http.StatusOK, out)
+}
+
+// SnapshotInfo is the JSON shape of /v1/snapshot.
+type SnapshotInfo struct {
+	Version       uint64    `json:"version"`
+	CensusRound   uint64    `json:"census_round"`
+	CensusesMixed int       `json:"censuses_combined"`
+	BuiltAt       time.Time `json:"built_at"`
+	Prefixes      int       `json:"anycast_prefixes"`
+	ASes          int       `json:"ases"`
+	Replicas      int       `json:"replicas"`
+}
+
+func (a *API) handleSnapshot(w http.ResponseWriter, _ *http.Request) int {
+	snap := a.store.Current()
+	if snap == nil {
+		return writeJSONStatus(w, http.StatusServiceUnavailable, errBody("no snapshot yet"))
+	}
+	return writeJSONStatus(w, http.StatusOK, SnapshotInfo{
+		Version:       snap.Version(),
+		CensusRound:   snap.Round(),
+		CensusesMixed: snap.Rounds(),
+		BuiltAt:       snap.BuiltAt(),
+		Prefixes:      snap.Len(),
+		ASes:          snap.ASes(),
+		Replicas:      snap.TotalReplicas(),
+	})
+}
+
+func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) int {
+	body := map[string]any{
+		"store":     a.store.Stats(),
+		"endpoints": a.endpointStats(),
+	}
+	if a.refresher != nil {
+		body["refresher"] = a.refresher.Stats()
+	}
+	return writeJSONStatus(w, http.StatusOK, body)
+}
+
+func (a *API) endpointStats() map[string]EndpointStats {
+	out := make(map[string]EndpointStats, len(a.metrics))
+	for name, m := range a.metrics {
+		out[name] = m.stats()
+	}
+	return out
+}
+
+func errBody(msg string) map[string]string { return map[string]string{"error": msg} }
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return http.StatusInternalServerError
+	}
+	return status
+}

@@ -1,0 +1,269 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testAPI(t *testing.T) (*API, *Store) {
+	t.Helper()
+	st := New(Options{CacheSize: 128})
+	st.Publish(testSnapshot(t, 8)) // 10.10.0.0/24 .. 10.10.7.0/24
+	return NewAPI(st, nil, APIConfig{}), st
+}
+
+func doJSON(t *testing.T, a *API, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, req)
+	out := map[string]any{}
+	if rec.Body.Len() > 0 && strings.HasPrefix(rec.Body.String(), "{") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("bad JSON from %s: %v: %s", path, err, rec.Body.String())
+		}
+	}
+	return rec, out
+}
+
+func TestAPILookup(t *testing.T) {
+	a, _ := testAPI(t)
+	rec, body := doJSON(t, a, http.MethodGet, "/v1/lookup?ip=10.10.3.200", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["anycast"] != true || body["prefix"] != "10.10.3.0/24" {
+		t.Errorf("lookup body = %v", body)
+	}
+	if body["as_name"] == "" || body["replicas"].(float64) != 2 {
+		t.Errorf("attribution missing: %v", body)
+	}
+	if _, ok := body["instances"]; ok {
+		t.Error("instances included without ?instances=1")
+	}
+
+	rec, body = doJSON(t, a, http.MethodGet, "/v1/lookup?ip=10.10.3.200&instances=1", "")
+	if rec.Code != http.StatusOK {
+		t.Fatal(rec.Code)
+	}
+	if ins, ok := body["instances"].([]any); !ok || len(ins) != 2 {
+		t.Errorf("instances not included on request: %v", body)
+	}
+
+	rec, body = doJSON(t, a, http.MethodGet, "/v1/lookup?ip=203.0.113.7", "")
+	if rec.Code != http.StatusOK || body["anycast"] != false {
+		t.Errorf("unicast lookup: %d %v", rec.Code, body)
+	}
+
+	rec, _ = doJSON(t, a, http.MethodGet, "/v1/lookup?ip=not-an-ip", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad IP accepted: %d", rec.Code)
+	}
+	rec, _ = doJSON(t, a, http.MethodGet, "/v1/lookup", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing IP accepted: %d", rec.Code)
+	}
+}
+
+func TestAPILookupBatch(t *testing.T) {
+	a, _ := testAPI(t)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/lookup/batch",
+		strings.NewReader(`["10.10.0.0", "10.10.7.255", "203.0.113.9"]`))
+	a.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0]["anycast"] != true || out[1]["anycast"] != true || out[2]["anycast"] != false {
+		t.Errorf("batch answers = %v", out)
+	}
+
+	// Wrapped form.
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest(http.MethodPost, "/v1/lookup/batch", strings.NewReader(`{"ips":["10.10.1.1"]}`))
+	a.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("wrapped batch rejected: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Errors.
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`[]`, http.StatusBadRequest},
+		{`["999.1.1.1"]`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	} {
+		rec = httptest.NewRecorder()
+		req = httptest.NewRequest(http.MethodPost, "/v1/lookup/batch", strings.NewReader(tc.body))
+		a.ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("body %q: status %d, want %d", tc.body, rec.Code, tc.want)
+		}
+	}
+
+	over := `["10.10.0.1"` + strings.Repeat(`,"10.10.0.1"`, 1024) + `]`
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest(http.MethodPost, "/v1/lookup/batch", strings.NewReader(over))
+	a.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d", rec.Code)
+	}
+}
+
+func TestAPISnapshotAndHealth(t *testing.T) {
+	a, st := testAPI(t)
+	rec, body := doJSON(t, a, http.MethodGet, "/v1/snapshot", "")
+	if rec.Code != http.StatusOK {
+		t.Fatal(rec.Code)
+	}
+	if body["version"].(float64) != 1 || body["anycast_prefixes"].(float64) != 8 {
+		t.Errorf("snapshot body = %v", body)
+	}
+	if body["censuses_combined"].(float64) != 4 {
+		t.Errorf("rounds = %v", body["censuses_combined"])
+	}
+
+	rec, body = doJSON(t, a, http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("health = %d %v", rec.Code, body)
+	}
+
+	// A fresh publish is visible immediately.
+	st.Publish(testSnapshot(t, 2))
+	_, body = doJSON(t, a, http.MethodGet, "/v1/snapshot", "")
+	if body["version"].(float64) != 2 || body["anycast_prefixes"].(float64) != 2 {
+		t.Errorf("post-swap snapshot = %v", body)
+	}
+}
+
+func TestAPINotReady(t *testing.T) {
+	a := NewAPI(New(Options{}), nil, APIConfig{})
+	for _, path := range []string{"/healthz", "/v1/lookup?ip=1.2.3.4", "/v1/snapshot"} {
+		rec, _ := doJSON(t, a, http.MethodGet, path, "")
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s before first snapshot: %d", path, rec.Code)
+		}
+	}
+	rec, _ := doJSON(t, a, http.MethodGet, "/v1/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Errorf("stats should answer before the first snapshot: %d", rec.Code)
+	}
+}
+
+func TestAPIStats(t *testing.T) {
+	st := New(Options{CacheSize: 64})
+	st.Publish(testSnapshot(t, 4))
+	r := NewRefresher(st, SourceFunc(func(context.Context) (*Snapshot, error) {
+		return testSnapshot(t, 4), nil
+	}), time.Minute)
+	a := NewAPI(st, r, APIConfig{})
+
+	doJSON(t, a, http.MethodGet, "/v1/lookup?ip=10.10.0.1", "")
+	doJSON(t, a, http.MethodGet, "/v1/lookup?ip=10.10.0.1", "")
+	rec, body := doJSON(t, a, http.MethodGet, "/v1/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatal(rec.Code)
+	}
+	storeStats := body["store"].(map[string]any)
+	if storeStats["lookups"].(float64) != 2 || storeStats["cache_hits"].(float64) != 1 {
+		t.Errorf("store stats = %v", storeStats)
+	}
+	eps := body["endpoints"].(map[string]any)
+	if eps["lookup"].(map[string]any)["requests"].(float64) != 2 {
+		t.Errorf("endpoint stats = %v", eps["lookup"])
+	}
+	if _, ok := body["refresher"]; !ok {
+		t.Error("refresher stats missing")
+	}
+}
+
+func TestAPIBoundedConcurrency(t *testing.T) {
+	st := New(Options{})
+	st.Publish(testSnapshot(t, 2))
+	a := NewAPI(st, nil, APIConfig{MaxInFlight: 1})
+
+	// Fill the only slot with a request that blocks inside the handler
+	// by hijacking the semaphore directly.
+	a.sem <- struct{}{}
+	rec, _ := doJSON(t, a, http.MethodGet, "/v1/lookup?ip=10.10.0.1", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overload request got %d", rec.Code)
+	}
+	<-a.sem
+	rec, _ = doJSON(t, a, http.MethodGet, "/v1/lookup?ip=10.10.0.1", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-overload request got %d", rec.Code)
+	}
+	_, body := doJSON(t, a, http.MethodGet, "/v1/stats", "")
+	eps := body["endpoints"].(map[string]any)
+	if eps["lookup"].(map[string]any)["rejected"].(float64) != 1 {
+		t.Errorf("rejection not counted: %v", eps["lookup"])
+	}
+}
+
+func TestAPIConcurrentLookupsDuringSwap(t *testing.T) {
+	// End-to-end flavour of the acceptance criterion: HTTP lookups keep
+	// answering while snapshots swap underneath.
+	st := New(Options{CacheSize: 512})
+	st.Publish(testSnapshot(t, 8))
+	a := NewAPI(st, nil, APIConfig{MaxInFlight: 64})
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st.Publish(testSnapshot(t, 8))
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	failures := make(chan string, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				rec := httptest.NewRecorder()
+				req := httptest.NewRequest(http.MethodGet, "/v1/lookup?ip=10.10.4.4", nil)
+				a.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					failures <- rec.Body.String()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	swapper.Wait()
+	select {
+	case f := <-failures:
+		t.Fatalf("lookup failed during swaps: %s", f)
+	default:
+	}
+}

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"anycastmap/internal/netsim"
+)
+
+// cache is a sharded LRU over single-IP answers. Entries are tagged with
+// the snapshot version they were computed against; a hit under a newer
+// snapshot is treated as a miss, so a hot-swap invalidates the whole cache
+// implicitly — no flush, no stop-the-world.
+type cache struct {
+	shards []*cacheShard
+	mask   uint32
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[netsim.IP]*list.Element
+}
+
+type cacheItem struct {
+	ip      netsim.IP
+	entry   *Entry // nil caches a negative (unicast) answer
+	version uint64
+}
+
+// newCache builds a cache of roughly size entries across shards shards;
+// both are clamped to sane minimums and shards is rounded up to a power
+// of two so shard selection is a mask.
+func newCache(size, shards int) *cache {
+	if size <= 0 {
+		size = 1 << 16
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := (size + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &cache{shards: make([]*cacheShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap: perShard,
+			ll:  list.New(),
+			m:   make(map[netsim.IP]*list.Element, perShard),
+		}
+	}
+	return c
+}
+
+// shard picks the shard for an IP by Fibonacci-hashing the address; the
+// low bits of real target lists are far from uniform.
+func (c *cache) shard(ip netsim.IP) *cacheShard {
+	h := uint32(ip) * 2654435761
+	return c.shards[(h>>16)&c.mask]
+}
+
+// get returns the cached answer and its snapshot version.
+func (c *cache) get(ip netsim.IP) (*Entry, uint64, bool) {
+	s := c.shard(ip)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[ip]
+	if !ok {
+		return nil, 0, false
+	}
+	s.ll.MoveToFront(el)
+	it := el.Value.(*cacheItem)
+	return it.entry, it.version, true
+}
+
+// put stores an answer computed against the given snapshot version,
+// evicting the least recently used entry of the shard when full.
+func (c *cache) put(ip netsim.IP, e *Entry, version uint64) {
+	s := c.shard(ip)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[ip]; ok {
+		it := el.Value.(*cacheItem)
+		it.entry, it.version = e, version
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		oldest := s.ll.Back()
+		if oldest != nil {
+			s.ll.Remove(oldest)
+			delete(s.m, oldest.Value.(*cacheItem).ip)
+		}
+	}
+	s.m[ip] = s.ll.PushFront(&cacheItem{ip: ip, entry: e, version: version})
+}
+
+// len returns the total number of cached answers across shards.
+func (c *cache) len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

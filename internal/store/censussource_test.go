@@ -1,0 +1,94 @@
+package store
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"anycastmap/internal/bgp"
+	"anycastmap/internal/cities"
+	"anycastmap/internal/hitlist"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+)
+
+// smallSource wires a CensusSource over a reduced world, the same shape
+// cmd/anycastd builds at startup.
+func smallSource(t testing.TB) *CensusSource {
+	t.Helper()
+	cfg := netsim.DefaultConfig()
+	cfg.Unicast24s = 2000
+	cfg.Seed = 77
+	w := netsim.New(cfg)
+	db := cities.Default()
+	return &CensusSource{
+		World:       w,
+		Cities:      db,
+		Platform:    platform.PlanetLab(db),
+		Table:       bgp.FromWorld(w),
+		Registry:    w.Registry,
+		Hitlist:     hitlist.FromWorld(w).PruneNeverAlive(),
+		Rounds:      1,
+		VPsPerRound: 80,
+		Seed:        77,
+	}
+}
+
+func TestCensusSourceBuildsServableSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real census round")
+	}
+	cs := smallSource(t)
+	snap, err := cs.Build(context.Background())
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if snap.Len() == 0 {
+		t.Fatal("census detected no anycast")
+	}
+	if snap.Round() != 1 || snap.Rounds() != 1 {
+		t.Errorf("round bookkeeping: %d/%d", snap.Round(), snap.Rounds())
+	}
+
+	// Every indexed deployment must be answerable through the store.
+	st := New(Options{})
+	st.Publish(snap)
+	for _, e := range snap.Entries() {
+		ans := st.Lookup(e.Prefix.Host(1))
+		if !ans.Anycast || ans.Entry.ASN != e.ASN {
+			t.Fatalf("entry %v not servable: %+v", e.Prefix, ans)
+		}
+	}
+
+	// A second build advances the round counter: the freshness loop.
+	snap2, err := cs.Build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Round() != 2 {
+		t.Errorf("second build round = %d, want 2", snap2.Round())
+	}
+}
+
+func TestCensusSourceCancellation(t *testing.T) {
+	cs := smallSource(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if snap, err := cs.Build(ctx); err == nil || snap != nil {
+		t.Fatalf("cancelled build returned (%v, %v)", snap, err)
+	}
+}
+
+func TestRefresherOverCensusSource(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real census rounds")
+	}
+	st := New(Options{})
+	r := NewRefresher(st, smallSource(t), time.Hour)
+	if !r.RefreshOnce(context.Background()) {
+		t.Fatal("census refresh failed")
+	}
+	if !st.Ready() || st.Current().Len() == 0 {
+		t.Fatal("refresh published nothing")
+	}
+}

@@ -1,0 +1,217 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"anycastmap/internal/analysis"
+	"anycastmap/internal/asdb"
+	"anycastmap/internal/bgp"
+	"anycastmap/internal/census"
+	"anycastmap/internal/cities"
+	"anycastmap/internal/core"
+	"anycastmap/internal/hitlist"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/prober"
+)
+
+// Source builds fresh snapshots for a Refresher. Build may return both a
+// snapshot and an error: a partially-failed campaign (some vantage points
+// erroring) still yields publishable, if thinner, results.
+type Source interface {
+	Build(ctx context.Context) (*Snapshot, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(ctx context.Context) (*Snapshot, error)
+
+// Build implements Source.
+func (f SourceFunc) Build(ctx context.Context) (*Snapshot, error) { return f(ctx) }
+
+// Refresher periodically rebuilds the census index in the background and
+// hot-swaps it into a Store. Readers keep answering from the previous
+// snapshot for the whole (potentially minutes-long) rebuild; the swap
+// itself is one atomic pointer store. A panicking build is recovered, the
+// old snapshot stays live, and the loop keeps its schedule.
+type Refresher struct {
+	store    *Store
+	src      Source
+	interval time.Duration
+
+	// Log, when set, receives one line per refresh outcome.
+	Log func(format string, args ...any)
+
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	panics    atomic.Uint64
+	lastNanos atomic.Int64
+}
+
+// NewRefresher wires a refresher; interval <= 0 defaults to 15 minutes.
+func NewRefresher(st *Store, src Source, interval time.Duration) *Refresher {
+	if interval <= 0 {
+		interval = 15 * time.Minute
+	}
+	return &Refresher{store: st, src: src, interval: interval}
+}
+
+// Run refreshes until ctx is cancelled. If the store has no snapshot yet,
+// the first refresh starts immediately; afterwards one refresh runs per
+// interval. Run blocks; start it in a goroutine.
+func (r *Refresher) Run(ctx context.Context) {
+	if !r.store.Ready() {
+		r.RefreshOnce(ctx)
+	}
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.RefreshOnce(ctx)
+		}
+	}
+}
+
+// RefreshOnce runs one build-and-swap cycle. It never lets a Source panic
+// escape: the panic is counted, logged, and the current snapshot stays
+// published. It reports whether a new snapshot was published.
+func (r *Refresher) RefreshOnce(ctx context.Context) (published bool) {
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			r.panics.Add(1)
+			r.failed.Add(1)
+			r.logf("store: refresh panicked (old snapshot stays live): %v", p)
+		}
+		r.lastNanos.Store(time.Since(start).Nanoseconds())
+	}()
+
+	snap, err := r.src.Build(ctx)
+	if snap == nil {
+		r.failed.Add(1)
+		if err != nil && ctx.Err() == nil {
+			r.logf("store: refresh failed: %v", err)
+		}
+		return false
+	}
+	if err != nil {
+		r.logf("store: refresh degraded (publishing partial snapshot): %v", err)
+	}
+	v := r.store.Publish(snap)
+	r.completed.Add(1)
+	r.logf("store: published snapshot v%d: %d anycast /24s, %d ASes, %d replicas (%v)",
+		v, snap.Len(), snap.ASes(), snap.TotalReplicas(), time.Since(start).Round(time.Millisecond))
+	return true
+}
+
+func (r *Refresher) logf(format string, args ...any) {
+	if r.Log != nil {
+		r.Log(format, args...)
+	}
+}
+
+// RefresherStats is a point-in-time copy of the refresh counters.
+type RefresherStats struct {
+	Completed   uint64        `json:"completed"`
+	Failed      uint64        `json:"failed"`
+	Panics      uint64        `json:"panics"`
+	LastRefresh time.Duration `json:"last_refresh_ns"`
+	Interval    time.Duration `json:"interval_ns"`
+}
+
+// Stats samples the counters.
+func (r *Refresher) Stats() RefresherStats {
+	return RefresherStats{
+		Completed:   r.completed.Load(),
+		Failed:      r.failed.Load(),
+		Panics:      r.panics.Load(),
+		LastRefresh: time.Duration(r.lastNanos.Load()),
+		Interval:    r.interval,
+	}
+}
+
+// CensusSource builds snapshots by running real census rounds against the
+// world — census.ExecuteContext fan-out, minimum-RTT combination, then the
+// detection/enumeration/geolocation analysis — exactly the workflow of the
+// paper's Fig. 1, repeated forever as the map's freshness loop.
+type CensusSource struct {
+	World     *netsim.World
+	Cities    *cities.DB
+	Platform  *platform.Platform
+	Table     *bgp.Table
+	Registry  *asdb.Registry
+	Hitlist   *hitlist.Hitlist
+	Blacklist *prober.Greylist
+
+	// Rounds is the number of censuses combined per snapshot (the paper
+	// ran 4); zero means 2 to keep refreshes cheap.
+	Rounds int
+	// VPsPerRound is the vantage-point sample size per census; zero
+	// means 261 (the paper's first-census PlanetLab availability).
+	VPsPerRound int
+	// Census tunes each round (rate, workers); Seed decorrelates VP
+	// sampling across rounds.
+	Census census.Config
+	Seed   uint64
+	// MinSamples gates analysis like census.AnalyzeAll (minimum 2).
+	MinSamples int
+
+	round atomic.Uint64
+}
+
+func (cs *CensusSource) rounds() int {
+	if cs.Rounds > 0 {
+		return cs.Rounds
+	}
+	return 2
+}
+
+func (cs *CensusSource) vpsPerRound() int {
+	if cs.VPsPerRound > 0 {
+		return cs.VPsPerRound
+	}
+	return 261
+}
+
+// SetRound moves the census round counter so rounds stay monotone when an
+// earlier campaign (e.g. the startup one) already consumed round numbers.
+func (cs *CensusSource) SetRound(n uint64) { cs.round.Store(n) }
+
+// Build implements Source: it advances the global census round counter,
+// probes, combines, analyzes, and indexes. Per-VP probing errors do not
+// abort the campaign; they are returned alongside the snapshot so the
+// caller can publish the partial result and still surface the problem.
+func (cs *CensusSource) Build(ctx context.Context) (*Snapshot, error) {
+	var runs []*census.Run
+	var degraded error
+	var last uint64
+	for i := 0; i < cs.rounds(); i++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		last = cs.round.Add(1)
+		vps := cs.Platform.Sample(cs.vpsPerRound(), cs.Seed+last)
+		cfg := cs.Census
+		cfg.Seed = cs.Seed
+		run, err := census.ExecuteContext(ctx, cs.World, vps, cs.Hitlist, cs.Blacklist, last, cfg)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			degraded = err
+		}
+		runs = append(runs, run)
+	}
+	combined, err := census.Combine(runs...)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	outcomes := census.AnalyzeAll(cs.Cities, combined, core.Options{}, cs.MinSamples, 0)
+	findings := analysis.Attribute(outcomes, cs.Table)
+	return NewSnapshot(findings, cs.Registry, last, len(runs)), degraded
+}

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRefresherPanicRecovery(t *testing.T) {
+	st := New(Options{})
+	first := st.Publish(testSnapshot(t, 3))
+
+	var logged []string
+	var mu sync.Mutex
+	src := SourceFunc(func(ctx context.Context) (*Snapshot, error) {
+		panic("census exploded")
+	})
+	r := NewRefresher(st, src, time.Minute)
+	r.Log = func(format string, args ...any) {
+		mu.Lock()
+		logged = append(logged, format)
+		mu.Unlock()
+	}
+
+	if r.RefreshOnce(context.Background()) {
+		t.Fatal("panicking refresh reported success")
+	}
+	if st.Current().Version() != first {
+		t.Error("panic replaced the live snapshot")
+	}
+	stats := r.Stats()
+	if stats.Panics != 1 || stats.Failed != 1 || stats.Completed != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) == 0 || !strings.Contains(logged[0], "panicked") {
+		t.Errorf("panic not logged: %v", logged)
+	}
+}
+
+func TestRefresherBuildFailureKeepsSnapshot(t *testing.T) {
+	st := New(Options{})
+	v := st.Publish(testSnapshot(t, 3))
+	src := SourceFunc(func(ctx context.Context) (*Snapshot, error) {
+		return nil, errors.New("no vantage points")
+	})
+	r := NewRefresher(st, src, time.Minute)
+	if r.RefreshOnce(context.Background()) {
+		t.Fatal("failed refresh reported success")
+	}
+	if st.Current().Version() != v {
+		t.Error("failure replaced the live snapshot")
+	}
+	if r.Stats().Failed != 1 {
+		t.Errorf("failed = %d", r.Stats().Failed)
+	}
+}
+
+func TestRefresherPartialSnapshotStillPublishes(t *testing.T) {
+	st := New(Options{})
+	src := SourceFunc(func(ctx context.Context) (*Snapshot, error) {
+		return testSnapshot(t, 2), errors.New("one VP errored")
+	})
+	r := NewRefresher(st, src, time.Minute)
+	if !r.RefreshOnce(context.Background()) {
+		t.Fatal("partial snapshot not published")
+	}
+	if !st.Ready() || st.Current().Len() != 2 {
+		t.Error("partial snapshot not live")
+	}
+}
+
+func TestRefresherRunStopsOnCancel(t *testing.T) {
+	st := New(Options{})
+	var builds sync.WaitGroup
+	builds.Add(1)
+	var once sync.Once
+	src := SourceFunc(func(ctx context.Context) (*Snapshot, error) {
+		once.Do(builds.Done)
+		return testSnapshot(t, 1), nil
+	})
+	r := NewRefresher(st, src, time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		r.Run(ctx)
+		close(done)
+	}()
+	builds.Wait() // first refresh ran because the store was empty
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on cancellation")
+	}
+	if !st.Ready() {
+		t.Error("initial refresh did not publish")
+	}
+}

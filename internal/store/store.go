@@ -1,0 +1,138 @@
+package store
+
+import (
+	"sync/atomic"
+
+	"anycastmap/internal/netsim"
+)
+
+// Options sizes a Store.
+type Options struct {
+	// CacheSize is the total LRU capacity in single-IP answers; zero
+	// means 65,536.
+	CacheSize int
+	// CacheShards is the number of LRU shards (rounded up to a power of
+	// two); zero means 16.
+	CacheShards int
+}
+
+// Store publishes census snapshots to concurrent readers. The current
+// snapshot hangs off an atomic pointer: lookups never take a lock on the
+// index, and Publish swaps a fresh snapshot in one pointer store while
+// in-flight readers keep the one they loaded. A sharded LRU absorbs hot
+// single-IP traffic; its entries self-invalidate on swap via version tags.
+type Store struct {
+	snap    atomic.Pointer[Snapshot]
+	version atomic.Uint64
+	cache   *cache
+
+	lookups atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	swaps   atomic.Uint64
+}
+
+// New builds an empty store; it answers negatively until the first
+// Publish.
+func New(opt Options) *Store {
+	return &Store{cache: newCache(opt.CacheSize, opt.CacheShards)}
+}
+
+// Publish stamps the snapshot with the next version and makes it the one
+// every subsequent Lookup sees. It returns the assigned version. The
+// snapshot must not be mutated after publishing.
+func (s *Store) Publish(snap *Snapshot) uint64 {
+	v := s.version.Add(1)
+	snap.version = v
+	s.snap.Store(snap)
+	s.swaps.Add(1)
+	return v
+}
+
+// Current returns the live snapshot, or nil before the first Publish.
+func (s *Store) Current() *Snapshot { return s.snap.Load() }
+
+// Ready reports whether a snapshot has been published.
+func (s *Store) Ready() bool { return s.snap.Load() != nil }
+
+// Answer is the result of classifying one IP.
+type Answer struct {
+	IP      netsim.IP
+	Anycast bool
+	// Entry is the deployment the IP's /24 belongs to; nil for unicast.
+	Entry *Entry
+	// Version is the snapshot version that produced the answer; 0 means
+	// the store had no snapshot yet.
+	Version uint64
+}
+
+// Lookup classifies one IP against the current snapshot, consulting the
+// LRU first. It is safe for any number of concurrent callers, including
+// during a Publish.
+func (s *Store) Lookup(ip netsim.IP) Answer {
+	s.lookups.Add(1)
+	snap := s.snap.Load()
+	if snap == nil {
+		return Answer{IP: ip}
+	}
+	if e, v, ok := s.cache.get(ip); ok && v == snap.version {
+		s.hits.Add(1)
+		return Answer{IP: ip, Anycast: e != nil, Entry: e, Version: v}
+	}
+	s.misses.Add(1)
+	e, ok := snap.Lookup(ip)
+	if !ok {
+		e = nil
+	}
+	s.cache.put(ip, e, snap.version)
+	return Answer{IP: ip, Anycast: ok, Entry: e, Version: snap.version}
+}
+
+// LookupBatch classifies a batch against one consistent snapshot: every
+// answer carries the same version even if a swap lands mid-batch. Batch
+// lookups bypass the LRU — they walk the index directly, which for bulk
+// traffic is cheaper than churning the cache.
+func (s *Store) LookupBatch(ips []netsim.IP) []Answer {
+	out := make([]Answer, len(ips))
+	snap := s.snap.Load()
+	s.lookups.Add(uint64(len(ips)))
+	if snap == nil {
+		for i, ip := range ips {
+			out[i] = Answer{IP: ip}
+		}
+		return out
+	}
+	s.misses.Add(uint64(len(ips)))
+	for i, ip := range ips {
+		e, ok := snap.Lookup(ip)
+		out[i] = Answer{IP: ip, Anycast: ok, Entry: e, Version: snap.version}
+	}
+	return out
+}
+
+// Stats is a point-in-time copy of the store counters.
+type Stats struct {
+	Lookups   uint64  `json:"lookups"`
+	CacheHits uint64  `json:"cache_hits"`
+	Misses    uint64  `json:"cache_misses"`
+	HitRate   float64 `json:"cache_hit_rate"`
+	Cached    int     `json:"cached_answers"`
+	Swaps     uint64  `json:"snapshot_swaps"`
+	Version   uint64  `json:"snapshot_version"`
+}
+
+// Stats samples the counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Lookups:   s.lookups.Load(),
+		CacheHits: s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Cached:    s.cache.len(),
+		Swaps:     s.swaps.Load(),
+		Version:   s.version.Load(),
+	}
+	if n := st.CacheHits + st.Misses; n > 0 {
+		st.HitRate = float64(st.CacheHits) / float64(n)
+	}
+	return st
+}

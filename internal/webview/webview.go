@@ -3,6 +3,12 @@
 // every detected anycast /24, a JSON API, and per-deployment GeoJSON of the
 // geolocated replicas, suitable for dropping onto any map widget.
 //
+// The server reads from a store.Store — the same hot-swappable index that
+// backs cmd/anycastd — so a background refresh becomes visible to the
+// browser on the next request without a restart. The rendered view
+// (sorted finding list, per-prefix replica map) is derived once per
+// snapshot version and cached behind an atomic pointer.
+//
 // The server exposes measurement results only - nothing from the
 // simulator's ground truth.
 package webview
@@ -15,10 +21,10 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync/atomic"
 
-	"anycastmap/internal/analysis"
-	"anycastmap/internal/asdb"
 	"anycastmap/internal/netsim"
+	"anycastmap/internal/store"
 )
 
 // Finding is the JSON shape of one detected anycast /24.
@@ -41,60 +47,37 @@ type replica struct {
 	located bool
 }
 
-// Server is the census browser; it implements http.Handler.
-type Server struct {
-	mux      *http.ServeMux
+// view is the render-ready projection of one snapshot version.
+type view struct {
+	version  uint64
 	findings []Finding
 	replicas map[string][]replica // prefix -> geolocated replicas
-	tmpl     *template.Template
+}
+
+// Server is the census browser; it implements http.Handler.
+type Server struct {
+	mux   *http.ServeMux
+	store *store.Store
+	tmpl  *template.Template
+	view  atomic.Pointer[view]
 }
 
 //go:embed index.html.tmpl
 var templates embed.FS
 
-// New builds a server over attributed census findings.
-func New(fs []analysis.Finding, reg *asdb.Registry) (*Server, error) {
+// New builds a server over the census index. The store may be empty (the
+// browser shows zero findings) and may be refreshed behind the server's
+// back at any time.
+func New(st *store.Store) (*Server, error) {
 	tmpl, err := template.ParseFS(templates, "index.html.tmpl")
 	if err != nil {
 		return nil, fmt.Errorf("webview: %w", err)
 	}
 	s := &Server{
-		mux:      http.NewServeMux(),
-		replicas: map[string][]replica{},
-		tmpl:     tmpl,
+		mux:   http.NewServeMux(),
+		store: st,
+		tmpl:  tmpl,
 	}
-	for _, f := range fs {
-		name, cat := "", ""
-		if as, ok := reg.ByASN(f.ASN); ok {
-			name, cat = as.Name, as.Category.String()
-		}
-		entry := Finding{
-			Prefix:   f.Prefix.String(),
-			ASN:      f.ASN,
-			ASName:   name,
-			Category: cat,
-			Replicas: f.Result.Count(),
-			Cities:   f.Result.Cities(),
-		}
-		s.findings = append(s.findings, entry)
-		for _, r := range f.Result.Replicas {
-			rep := replica{viaVP: r.VP, located: r.Located}
-			if r.Located {
-				rep.city, rep.cc = r.City.Name, r.City.CC
-				rep.lat, rep.lon = r.City.Loc.Lat, r.City.Loc.Lon
-			} else {
-				rep.lat, rep.lon = r.Disk.Center.Lat, r.Disk.Center.Lon
-			}
-			s.replicas[entry.Prefix] = append(s.replicas[entry.Prefix], rep)
-		}
-	}
-	sort.Slice(s.findings, func(i, j int) bool {
-		if s.findings[i].Replicas != s.findings[j].Replicas {
-			return s.findings[i].Replicas > s.findings[j].Replicas
-		}
-		return s.findings[i].Prefix < s.findings[j].Prefix
-	})
-
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /api/findings", s.handleFindings)
@@ -102,12 +85,63 @@ func New(fs []analysis.Finding, reg *asdb.Registry) (*Server, error) {
 	return s, nil
 }
 
+// currentView projects the live snapshot, reusing the cached projection
+// while the snapshot version is unchanged. Concurrent rebuilds after a
+// swap are benign: they produce identical views and the last store wins.
+func (s *Server) currentView() *view {
+	snap := s.store.Current()
+	if snap == nil {
+		return &view{replicas: map[string][]replica{}}
+	}
+	if v := s.view.Load(); v != nil && v.version == snap.Version() {
+		return v
+	}
+	v := buildView(snap)
+	s.view.Store(v)
+	return v
+}
+
+// buildView flattens a snapshot into the browser's sorted finding list
+// and per-prefix replica map.
+func buildView(snap *store.Snapshot) *view {
+	v := &view{
+		version:  snap.Version(),
+		replicas: map[string][]replica{},
+	}
+	for _, e := range snap.Entries() {
+		prefix := e.Prefix.String()
+		v.findings = append(v.findings, Finding{
+			Prefix:   prefix,
+			ASN:      e.ASN,
+			ASName:   e.ASName,
+			Category: e.Category,
+			Replicas: e.Replicas,
+			Cities:   e.Cities,
+		})
+		for _, in := range e.Instances {
+			v.replicas[prefix] = append(v.replicas[prefix], replica{
+				city: in.City, cc: in.CC,
+				lat: in.Lat, lon: in.Lon,
+				viaVP: in.ViaVP, located: in.Located,
+			})
+		}
+	}
+	sort.Slice(v.findings, func(i, j int) bool {
+		if v.findings[i].Replicas != v.findings[j].Replicas {
+			return v.findings[i].Replicas > v.findings[j].Replicas
+		}
+		return v.findings[i].Prefix < v.findings[j].Prefix
+	})
+	return v
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	v := s.currentView()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"status":"ok","findings":%d}`, len(s.findings))
+	fmt.Fprintf(w, `{"status":"ok","findings":%d,"snapshot_version":%d}`, len(v.findings), v.version)
 }
 
 // handleIndex renders the HTML table.
@@ -116,15 +150,16 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	v := s.currentView()
 	limit := 200
-	if len(s.findings) < limit {
-		limit = len(s.findings)
+	if len(v.findings) < limit {
+		limit = len(v.findings)
 	}
 	data := struct {
 		Total    int
 		Shown    int
 		Findings []Finding
-	}{Total: len(s.findings), Shown: limit, Findings: s.findings[:limit]}
+	}{Total: len(v.findings), Shown: limit, Findings: v.findings[:limit]}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := s.tmpl.Execute(w, data); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -134,13 +169,14 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 // handleFindings serves the full finding list, optionally filtered by AS
 // name substring (?as=cloudflare) or minimum replicas (?min=5).
 func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
+	v := s.currentView()
 	asFilter := strings.ToLower(r.URL.Query().Get("as"))
 	min := 0
 	if _, err := fmt.Sscanf(r.URL.Query().Get("min"), "%d", &min); err != nil {
 		min = 0
 	}
-	out := make([]Finding, 0, len(s.findings))
-	for _, f := range s.findings {
+	out := make([]Finding, 0, len(v.findings))
+	for _, f := range v.findings {
 		if asFilter != "" && !strings.Contains(strings.ToLower(f.ASName), asFilter) {
 			continue
 		}
@@ -181,7 +217,7 @@ func (s *Server) handleGeoJSON(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	reps, ok := s.replicas[prefix]
+	reps, ok := s.currentView().replicas[prefix]
 	if !ok {
 		http.Error(w, "prefix not in the census results", http.StatusNotFound)
 		return

@@ -12,9 +12,11 @@ import (
 	"anycastmap/internal/cities"
 	"anycastmap/internal/core"
 	"anycastmap/internal/netsim"
+	"anycastmap/internal/store"
 )
 
-// testServer builds a server over two synthetic findings.
+// testServer builds a server over two synthetic findings published
+// through a store, the same wiring cmd/webview uses.
 func testServer(t *testing.T) (*Server, []analysis.Finding) {
 	t.Helper()
 	reg := asdb.Default()
@@ -34,7 +36,9 @@ func testServer(t *testing.T) (*Server, []analysis.Finding) {
 			mk("Dallas", "US"), {VP: "vp-x", Located: false},
 		}}},
 	}
-	s, err := New(fs, reg)
+	st := store.New(store.Options{})
+	st.Publish(store.NewSnapshot(fs, reg, 1, 1))
+	s, err := New(st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,5 +208,61 @@ func TestServesOverRealSocket(t *testing.T) {
 	}
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 		t.Errorf("content type %q", ct)
+	}
+}
+
+func TestSnapshotSwapVisibleWithoutRestart(t *testing.T) {
+	// The browser shares the hot-swappable index with anycastd: a
+	// background refresh must show up on the next request.
+	reg := asdb.Default()
+	db := cities.Default()
+	cf := reg.MustByName("CLOUDFLARENET,US")
+	p1, _ := netsim.ParsePrefix24("188.114.97.0/24")
+	fs := []analysis.Finding{{Prefix: p1, ASN: cf.ASN, Result: core.Result{
+		Anycast: true,
+		Replicas: []core.GeoReplica{
+			{VP: "vp-a", Located: true, City: db.MustByName("Amsterdam", "NL")},
+		},
+	}}}
+
+	st := store.New(store.Options{})
+	s, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty store: zero findings, not an error.
+	rec := get(t, s, "/api/findings")
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Fatalf("empty store served %d: %s", rec.Code, rec.Body.String())
+	}
+
+	st.Publish(store.NewSnapshot(fs, reg, 1, 1))
+	var out []Finding
+	if err := json.Unmarshal(get(t, s, "/api/findings").Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Prefix != "188.114.97.0/24" {
+		t.Fatalf("first snapshot not visible: %+v", out)
+	}
+
+	// Swap in a snapshot with an extra deployment.
+	p2, _ := netsim.ParsePrefix24("4.68.30.0/24")
+	lvl := reg.MustByName("LEVEL3,US")
+	fs = append(fs, analysis.Finding{Prefix: p2, ASN: lvl.ASN, Result: core.Result{
+		Anycast: true,
+		Replicas: []core.GeoReplica{
+			{VP: "vp-b", Located: true, City: db.MustByName("Dallas", "US")},
+		},
+	}})
+	st.Publish(store.NewSnapshot(fs, reg, 2, 1))
+	out = nil
+	if err := json.Unmarshal(get(t, s, "/api/findings").Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("swap not visible: %+v", out)
+	}
+	if rec := get(t, s, "/api/geojson?prefix=4.68.30.0/24"); rec.Code != http.StatusOK {
+		t.Errorf("new deployment's geojson: %d", rec.Code)
 	}
 }
