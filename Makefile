@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race verify clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race is the gate the fault-injection tests are written for: the census
+# retry loop, the store hot-swap and the LRU all exercise real concurrency.
+# internal/experiments replays full campaigns and needs more than the
+# default 10m per-package budget under the race detector.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+verify: vet build race
+
+clean:
+	$(GO) clean ./...

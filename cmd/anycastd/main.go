@@ -45,6 +45,14 @@ func main() {
 	refresh := flag.Duration("refresh", 15*time.Minute, "background census refresh interval")
 	cacheSize := flag.Int("cache", 1<<16, "LRU capacity in single-IP answers")
 	maxInFlight := flag.Int("max-inflight", 256, "maximum concurrently-served requests")
+	retries := flag.Int("retries", 3, "per-VP probing attempts per census round (1 disables retrying)")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "base backoff before retrying a failed VP (doubles per retry)")
+	faultSeed := flag.Uint64("fault-seed", 0, "fault plan seed (0 = world seed)")
+	faultCrash := flag.Float64("fault-crash", 0, "fraction of VPs crashing mid-run per round")
+	faultSticky := flag.Float64("fault-crash-sticky", 0, "probability a crashed VP stays down across retries")
+	faultFlap := flag.Float64("fault-flap", 0, "fraction of VPs with a total-loss flap window per round")
+	faultBurst := flag.Float64("fault-burst", 0, "fraction of VPs with bursty reply loss per round")
+	faultOutage := flag.Float64("fault-outage", 0, "fraction of /24s transiently unreachable per round")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -66,6 +74,29 @@ func main() {
 	targets := full.PruneNeverAlive().Without(black.Targets())
 	log.Printf("blacklist: %d hosts; pruned target list: %d", black.Len(), targets.Len())
 
+	// Fault injection applies to the census rounds, not the bootstrap
+	// blacklist run: a crashed bootstrap would just abort startup.
+	if *faultCrash > 0 || *faultFlap > 0 || *faultBurst > 0 || *faultOutage > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		plan, err := netsim.NewFaultPlan(netsim.FaultConfig{
+			Seed:                 fseed,
+			CrashFraction:        *faultCrash,
+			CrashStickiness:      *faultSticky,
+			FlapFraction:         *faultFlap,
+			BurstLossFraction:    *faultBurst,
+			TargetOutageFraction: *faultOutage,
+		})
+		if err != nil {
+			log.Fatalf("fault plan: %v", err)
+		}
+		world = world.WithFaults(plan)
+		log.Printf("fault injection: crash=%.2f (sticky %.2f) flap=%.2f burst=%.2f outage=%.2f seed=%d",
+			*faultCrash, *faultSticky, *faultFlap, *faultBurst, *faultOutage, fseed)
+	}
+
 	src := &store.CensusSource{
 		World:       world,
 		Cities:      db,
@@ -77,7 +108,10 @@ func main() {
 		Rounds:      *rounds,
 		VPsPerRound: *vpsPer,
 		Seed:        *seed,
-		Census:      census.Config{Seed: *seed, Rate: *rate, Workers: *workers},
+		Census: census.Config{
+			Seed: *seed, Rate: *rate, Workers: *workers,
+			MaxAttempts: *retries, RetryBackoff: *retryBackoff,
+		},
 	}
 	log.Printf("probing with %d concurrent vantage points per census", src.Census.EffectiveWorkers())
 

@@ -39,6 +39,14 @@ func main() {
 	save := flag.String("save", "", "directory to save the census runs (loadable with census.LoadRun)")
 	format := flag.String("format", "binary", "record format for -out: binary or csv")
 	top := flag.Int("top", 15, "print the top-N anycast ASes")
+	retries := flag.Int("retries", 3, "per-VP probing attempts per census round (1 disables retrying)")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "base backoff before retrying a failed VP (doubles per retry)")
+	faultSeed := flag.Uint64("fault-seed", 0, "fault plan seed (0 = world seed)")
+	faultCrash := flag.Float64("fault-crash", 0, "fraction of VPs crashing mid-run per round")
+	faultSticky := flag.Float64("fault-crash-sticky", 0, "probability a crashed VP stays down across retries")
+	faultFlap := flag.Float64("fault-flap", 0, "fraction of VPs with a total-loss flap window per round")
+	faultBurst := flag.Float64("fault-burst", 0, "fraction of VPs with bursty reply loss per round")
+	faultOutage := flag.Float64("fault-outage", 0, "fraction of /24s transiently unreachable per round")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -64,10 +72,35 @@ func main() {
 	targets := full.PruneNeverAlive().Without(black.Targets())
 	log.Printf("blacklist: %d hosts; pruned target list: %d", black.Len(), targets.Len())
 
-	ccfg := census.Config{Seed: *seed, Rate: *rate, Workers: *workers}
+	// Fault injection applies to the census rounds, not the bootstrap
+	// blacklist run.
+	if *faultCrash > 0 || *faultFlap > 0 || *faultBurst > 0 || *faultOutage > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		plan, err := netsim.NewFaultPlan(netsim.FaultConfig{
+			Seed:                 fseed,
+			CrashFraction:        *faultCrash,
+			CrashStickiness:      *faultSticky,
+			FlapFraction:         *faultFlap,
+			BurstLossFraction:    *faultBurst,
+			TargetOutageFraction: *faultOutage,
+		})
+		if err != nil {
+			log.Fatalf("fault plan: %v", err)
+		}
+		world = world.WithFaults(plan)
+		log.Printf("fault injection: crash=%.2f (sticky %.2f) flap=%.2f burst=%.2f outage=%.2f seed=%d",
+			*faultCrash, *faultSticky, *faultFlap, *faultBurst, *faultOutage, fseed)
+	}
+
+	ccfg := census.Config{Seed: *seed, Rate: *rate, Workers: *workers,
+		MaxAttempts: *retries, RetryBackoff: *retryBackoff}
 	log.Printf("probing with %d concurrent vantage points", ccfg.EffectiveWorkers())
 
 	var runs []*census.Run
+	var campaign census.CampaignHealth
 	for round := 1; round <= *rounds; round++ {
 		vps := pl.Sample(*vpsPer, *seed+uint64(round))
 		t0 := time.Now()
@@ -78,7 +111,14 @@ func main() {
 		log.Printf("census %d: %d VPs, %d probes, %d echo targets, %d greylisted (%v)",
 			round, len(vps), run.TotalProbes(), run.EchoTargets(), run.Greylist.Len(),
 			time.Since(t0).Round(time.Millisecond))
+		if run.Health.Retries > 0 || run.Health.Degraded() {
+			log.Printf("census %d health: %s", round, run.Health)
+		}
+		campaign.Add(run.Health)
 		runs = append(runs, run)
+	}
+	if campaign.Degraded() {
+		log.Printf("campaign degraded: %s", campaign)
 	}
 
 	if *out != "" {

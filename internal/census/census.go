@@ -39,6 +39,18 @@ type Config struct {
 	// Workers bounds the number of vantage points probing concurrently;
 	// zero means GOMAXPROCS.
 	Workers int
+	// MaxAttempts is the per-VP probing attempt budget within one
+	// census (first try included). A VP whose attempts are exhausted is
+	// quarantined: its row keeps the samples the attempts gathered and
+	// is reported in RunHealth instead of failing silently. Zero means
+	// 3; 1 disables retrying.
+	MaxAttempts int
+	// RetryBackoff is the base delay before the first retry; each
+	// further retry doubles it, capped at RetryBackoffCap. Zero means
+	// 50ms; negative disables the backoff entirely (tests).
+	RetryBackoff time.Duration
+	// RetryBackoffCap caps the exponential backoff; zero means 2s.
+	RetryBackoffCap time.Duration
 }
 
 // EffectiveWorkers resolves the configured worker count: Workers when
@@ -48,6 +60,63 @@ func (c Config) EffectiveWorkers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 3
+}
+
+func (c Config) retryBackoff() time.Duration {
+	if c.RetryBackoff != 0 {
+		return c.RetryBackoff
+	}
+	return 50 * time.Millisecond
+}
+
+func (c Config) retryBackoffCap() time.Duration {
+	if c.RetryBackoffCap > 0 {
+		return c.RetryBackoffCap
+	}
+	return 2 * time.Second
+}
+
+// backoffFor returns the capped exponential delay preceding the given
+// retry attempt (attempt >= 1).
+func (c Config) backoffFor(attempt int) time.Duration {
+	base := c.retryBackoff()
+	if base < 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= c.retryBackoffCap() {
+			return c.retryBackoffCap()
+		}
+	}
+	if d > c.retryBackoffCap() {
+		return c.retryBackoffCap()
+	}
+	return d
+}
+
+// sleepBackoff waits out the pre-retry backoff; it returns false when the
+// context is cancelled first.
+func sleepBackoff(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // Run is the outcome of one census: a (vantage point x target) matrix of
@@ -61,6 +130,10 @@ type Run struct {
 	RTTus    [][]int32
 	Stats    []prober.Stats
 	Greylist *prober.Greylist
+
+	// Health is the round's recovery summary: retries, recovered and
+	// quarantined vantage points, partial/empty rows.
+	Health RunHealth
 
 	// echoTargets memoizes EchoTargets: the full V×T scan is too
 	// expensive for the per-round logging path of cmd/census.
@@ -113,9 +186,15 @@ func Execute(w *netsim.World, vps []platform.VP, h *hitlist.Hitlist, blacklist *
 
 // ExecuteContext is Execute with cancellation: when ctx is cancelled,
 // in-flight vantage points finish and the rest are skipped; the partial run
-// is returned together with the context's error. Per-VP probing failures
-// (prober wire-path errors) do not stop the other vantage points; they are
-// joined into the returned error, with the failing VP's partial row kept.
+// is returned together with the context's error.
+//
+// Per-VP probing failures do not stop the other vantage points. A failed
+// VP is retried up to Config.MaxAttempts times with capped exponential
+// backoff; samples accumulate across attempts (the RTT draws of a round
+// are attempt-invariant, so attempts agree wherever they overlap). A VP
+// whose budget is exhausted is quarantined: its partial row is kept and
+// marked in Run.Health, and its final error is joined into the returned
+// error.
 func ExecuteContext(ctx context.Context, w *netsim.World, vps []platform.VP, h *hitlist.Hitlist, blacklist *prober.Greylist, round uint64, cfg Config) (*Run, error) {
 	targets := h.Targets()
 	targetIdx := make(map[netsim.IP]int, len(targets))
@@ -136,6 +215,8 @@ func ExecuteContext(ctx context.Context, w *netsim.World, vps []platform.VP, h *
 	var wg sync.WaitGroup
 	var greyMu sync.Mutex
 	vpErrs := make([]error, len(vps))
+	perVP := make([]VPHealth, len(vps))
+	rowSamples := make([]int, len(vps))
 	for vi := range vps {
 		if ctx.Err() != nil {
 			break
@@ -149,35 +230,67 @@ func ExecuteContext(ctx context.Context, w *netsim.World, vps []platform.VP, h *
 				// Leave the row empty: this VP never ran.
 				run.RTTus[vi] = emptyRow(len(targets))
 				run.Stats[vi] = prober.Stats{VP: vps[vi]}
+				perVP[vi] = VPHealth{VP: vps[vi].Name, Skipped: true}
 				return
 			}
 
-			row := make([]int32, len(targets))
-			for i := range row {
-				row[i] = noSample
+			row := emptyRow(len(targets))
+			samples := 0
+			sink := func(s record.Sample) {
+				if s.Kind != netsim.ReplyEcho {
+					return
+				}
+				if ti, ok := targetIdx[s.Target]; ok {
+					us := s.RTT.Microseconds()
+					if us > 1<<30 {
+						us = 1 << 30
+					}
+					if row[ti] == noSample {
+						samples++
+					}
+					row[ti] = int32(us)
+				}
 			}
-			stats, grey, err := prober.Run(w, vps[vi], targets, blacklist,
-				prober.Config{Rate: cfg.Rate, Round: round, Seed: cfg.Seed},
-				func(s record.Sample) {
-					if s.Kind != netsim.ReplyEcho {
-						return
-					}
-					if ti, ok := targetIdx[s.Target]; ok {
-						us := s.RTT.Microseconds()
-						if us > 1<<30 {
-							us = 1 << 30
-						}
-						row[ti] = int32(us)
-					}
-				})
+
+			vh := VPHealth{VP: vps[vi].Name}
+			var stats prober.Stats
+			var err error
+			for attempt := 0; attempt < cfg.maxAttempts(); attempt++ {
+				if attempt > 0 && !sleepBackoff(ctx, cfg.backoffFor(attempt)) {
+					break
+				}
+				vh.Attempts++
+				var grey *prober.Greylist
+				stats, grey, err = prober.Run(w, vps[vi], targets, blacklist,
+					prober.Config{Rate: cfg.Rate, Round: round, Seed: cfg.Seed, Attempt: attempt},
+					sink)
+				greyMu.Lock()
+				run.Greylist.Merge(grey)
+				greyMu.Unlock()
+				if err == nil {
+					vh.Recovered = attempt > 0
+					break
+				}
+				if ctx.Err() != nil {
+					break
+				}
+			}
 			if err != nil {
-				vpErrs[vi] = fmt.Errorf("census: VP %s: %w", vps[vi].Name, err)
+				vh.Err = err.Error()
+				if ctx.Err() == nil {
+					// Retry budget exhausted on a live campaign: the
+					// VP is quarantined, its partial row kept.
+					vh.Quarantined = true
+					vpErrs[vi] = fmt.Errorf("census: VP %s quarantined after %d attempts: %w",
+						vps[vi].Name, vh.Attempts, err)
+				} else {
+					vpErrs[vi] = fmt.Errorf("census: VP %s: %w", vps[vi].Name, err)
+				}
 			}
 			run.RTTus[vi] = row
 			run.Stats[vi] = stats
-			greyMu.Lock()
-			run.Greylist.Merge(grey)
-			greyMu.Unlock()
+			perVP[vi] = vh
+			rowSamples[vi] = samples
 		}(vi)
 	}
 	wg.Wait()
@@ -186,12 +299,40 @@ func ExecuteContext(ctx context.Context, w *netsim.World, vps []platform.VP, h *
 		if run.RTTus[vi] == nil {
 			run.RTTus[vi] = emptyRow(len(targets))
 			run.Stats[vi] = prober.Stats{VP: vps[vi]}
+			perVP[vi] = VPHealth{VP: vps[vi].Name, Skipped: true}
 		}
 	}
+	run.Health = buildHealth(round, perVP, rowSamples)
 	// Prime the memoized echo count while the run is still hot in cache;
 	// cmd/census logs it after every round.
 	run.EchoTargets()
 	return run, errors.Join(append(vpErrs, ctx.Err())...)
+}
+
+// buildHealth folds the per-VP records into the round summary.
+func buildHealth(round uint64, perVP []VPHealth, rowSamples []int) RunHealth {
+	h := RunHealth{Round: round, VPs: len(perVP), PerVP: perVP}
+	for vi, vh := range perVP {
+		if vh.Attempts > 1 {
+			h.Retries += vh.Attempts - 1
+		}
+		switch {
+		case vh.Recovered:
+			h.Recovered++
+			h.Completed++
+		case vh.Quarantined:
+			h.Quarantined = append(h.Quarantined, vh.VP)
+			if rowSamples[vi] > 0 {
+				h.PartialRows++
+			}
+		case vh.Err == "" && !vh.Skipped:
+			h.Completed++
+		}
+		if rowSamples[vi] == 0 {
+			h.EmptyRows++
+		}
+	}
+	return h
 }
 
 // emptyRow returns an all-noSample row.
@@ -222,9 +363,19 @@ func Combine(runs ...*Run) (*Combined, error) {
 		return nil, fmt.Errorf("census: nothing to combine")
 	}
 	targets := runs[0].Targets
-	for _, r := range runs[1:] {
+	for ri, r := range runs[1:] {
 		if len(r.Targets) != len(targets) {
 			return nil, fmt.Errorf("census: runs have different target lists (%d vs %d)", len(r.Targets), len(targets))
+		}
+		// Equal lengths are not enough: two censuses over different
+		// hitlists of the same size would min-combine RTTs of unrelated
+		// targets into garbage. Compare contents and point at the first
+		// disagreement.
+		for ti, tgt := range r.Targets {
+			if tgt != targets[ti] {
+				return nil, fmt.Errorf("census: run %d target list diverges at index %d (%v vs %v)",
+					ri+1, ti, tgt, targets[ti])
+			}
 		}
 	}
 

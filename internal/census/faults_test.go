@@ -1,0 +1,338 @@
+package census
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"anycastmap/internal/cities"
+	"anycastmap/internal/core"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+)
+
+// faultPlan builds a plan or fails the test.
+func faultPlan(t *testing.T, cfg netsim.FaultConfig) *netsim.FaultPlan {
+	t.Helper()
+	p, err := netsim.NewFaultPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// predict classifies the vantage points under a plan for one round the way
+// the census retry loop will experience them: healthy, recovering after one
+// retry (non-sticky, default RecoveryAttempts), or quarantined (sticky,
+// crashing on every attempt until the budget runs out).
+func predict(vps []platform.VP, plan *netsim.FaultPlan, round uint64) (healthy, recovering, quarantined []platform.VP) {
+	for _, vp := range vps {
+		switch c, s := plan.Crashes(vp.ID, round); {
+		case !c:
+			healthy = append(healthy, vp)
+		case s:
+			quarantined = append(quarantined, vp)
+		default:
+			recovering = append(recovering, vp)
+		}
+	}
+	return
+}
+
+// TestCensusSurvivesVPCrashes is the pipeline-hardening acceptance test: a
+// fault plan crashes a large share of the vantage points mid-census (some
+// recoverably, some for good), and the census must complete, retry and
+// quarantine exactly as the deterministic plan predicts, keep the surviving
+// rows identical to a faultless census, and keep quarantined rows partial
+// but consistent.
+func TestCensusSurvivesVPCrashes(t *testing.T) {
+	w, h, _, _, _ := testbed(t)
+	pl := platform.PlanetLab(cities.Default())
+	vps := pl.Sample(30, 5)
+	const round = 11
+	cfg := Config{Seed: 9, MaxAttempts: 3, RetryBackoff: -1}
+
+	plan := faultPlan(t, netsim.FaultConfig{Seed: 1213, CrashFraction: 0.4, CrashStickiness: 0.5})
+	healthy, recovering, quarantined := predict(vps, plan, round)
+	if frac := float64(len(recovering)+len(quarantined)) / float64(len(vps)); frac < 0.2 {
+		t.Fatalf("plan crashes only %.2f of VPs; the test needs >= 0.2", frac)
+	}
+	if len(recovering) == 0 || len(quarantined) == 0 {
+		t.Fatalf("plan lacks variety: %d recovering, %d quarantined", len(recovering), len(quarantined))
+	}
+
+	clean, err := ExecuteContext(context.Background(), w, vps, h, nil, round, cfg)
+	if err != nil {
+		t.Fatalf("faultless census errored: %v", err)
+	}
+	faulty, err := ExecuteContext(context.Background(), w.WithFaults(plan), vps, h, nil, round, cfg)
+	if err == nil {
+		t.Fatal("census with quarantined VPs returned no error")
+	}
+	if !strings.Contains(err.Error(), "quarantined") {
+		t.Errorf("error does not name the quarantine: %v", err)
+	}
+
+	// The health summary must match the plan's predictions exactly.
+	hl := faulty.Health
+	if hl.Round != round || hl.VPs != len(vps) {
+		t.Errorf("health identity: %+v", hl)
+	}
+	if hl.Completed != len(healthy)+len(recovering) {
+		t.Errorf("completed = %d, want %d", hl.Completed, len(healthy)+len(recovering))
+	}
+	if hl.Recovered != len(recovering) {
+		t.Errorf("recovered = %d, want %d", hl.Recovered, len(recovering))
+	}
+	// A recovering VP retries once; a sticky VP burns the whole budget.
+	wantRetries := len(recovering) + len(quarantined)*(cfg.MaxAttempts-1)
+	if hl.Retries != wantRetries {
+		t.Errorf("retries = %d, want %d", hl.Retries, wantRetries)
+	}
+	var wantQ []string
+	for _, vp := range quarantined {
+		wantQ = append(wantQ, vp.Name)
+	}
+	gotQ := append([]string(nil), hl.Quarantined...)
+	sort.Strings(wantQ)
+	sort.Strings(gotQ)
+	if len(gotQ) != len(wantQ) {
+		t.Fatalf("quarantined = %v, want %v", gotQ, wantQ)
+	}
+	for i := range gotQ {
+		if gotQ[i] != wantQ[i] {
+			t.Fatalf("quarantined = %v, want %v", gotQ, wantQ)
+		}
+	}
+	if !hl.Degraded() {
+		t.Error("degraded round not flagged")
+	}
+	// Every quarantined row kept the samples its attempts gathered: no row
+	// is silently empty.
+	if hl.PartialRows != len(quarantined) || hl.EmptyRows != 0 {
+		t.Errorf("rows: %d partial, %d empty; want %d partial, 0 empty",
+			hl.PartialRows, hl.EmptyRows, len(quarantined))
+	}
+	if hl.String() == "" {
+		t.Error("empty health string")
+	}
+
+	// Per-VP attempt records.
+	byName := map[string]VPHealth{}
+	for _, vh := range hl.PerVP {
+		byName[vh.VP] = vh
+	}
+	for _, vp := range healthy {
+		if vh := byName[vp.Name]; vh.Attempts != 1 || vh.Recovered || vh.Quarantined {
+			t.Errorf("healthy %s: %+v", vp.Name, vh)
+		}
+	}
+	for _, vp := range recovering {
+		if vh := byName[vp.Name]; vh.Attempts != 2 || !vh.Recovered || vh.Quarantined {
+			t.Errorf("recovering %s: %+v", vp.Name, vh)
+		}
+	}
+	for _, vp := range quarantined {
+		vh := byName[vp.Name]
+		if vh.Attempts != cfg.MaxAttempts || !vh.Quarantined || vh.Err == "" {
+			t.Errorf("quarantined %s: %+v", vp.Name, vh)
+		}
+	}
+
+	// Surviving rows — healthy and recovered alike — must be sample-for-
+	// sample identical to the faultless census; quarantined rows must be a
+	// strict, consistent subset.
+	quarantinedSet := map[string]bool{}
+	for _, vp := range quarantined {
+		quarantinedSet[vp.Name] = true
+	}
+	for vi := range vps {
+		cRow, fRow := clean.RTTus[vi], faulty.RTTus[vi]
+		if quarantinedSet[vps[vi].Name] {
+			fSamples, cSamples := 0, 0
+			for ti := range fRow {
+				if cRow[ti] != noSample {
+					cSamples++
+				}
+				if fRow[ti] == noSample {
+					continue
+				}
+				fSamples++
+				if fRow[ti] != cRow[ti] {
+					t.Fatalf("quarantined %s row disagrees with faultless census at target %d: %d vs %d",
+						vps[vi].Name, ti, fRow[ti], cRow[ti])
+				}
+			}
+			if fSamples == 0 || fSamples >= cSamples {
+				t.Errorf("quarantined %s row has %d samples, want a non-empty strict subset of %d",
+					vps[vi].Name, fSamples, cSamples)
+			}
+			continue
+		}
+		for ti := range cRow {
+			if fRow[ti] != cRow[ti] {
+				t.Fatalf("surviving VP %s row diverged at target %d: %d vs %d",
+					vps[vi].Name, ti, fRow[ti], cRow[ti])
+			}
+		}
+	}
+
+	// The degraded census still analyzes soundly: detection over the
+	// surviving samples keeps precision 1.
+	c, err := Combine(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := AnalyzeAll(cities.Default(), c, core.Options{}, 2, 0)
+	if len(outcomes) == 0 {
+		t.Fatal("degraded census detected nothing")
+	}
+	for _, o := range outcomes {
+		if !w.IsAnycast(o.Prefix()) {
+			t.Fatalf("degraded census false positive: %v", o.Prefix())
+		}
+	}
+
+	// And the whole degraded run is reproducible.
+	again, _ := ExecuteContext(context.Background(), w.WithFaults(plan), vps, h, nil, round, cfg)
+	h2 := again.Health
+	if h2.Completed != hl.Completed || h2.Retries != hl.Retries ||
+		h2.Recovered != hl.Recovered || len(h2.Quarantined) != len(hl.Quarantined) ||
+		h2.PartialRows != hl.PartialRows || h2.EmptyRows != hl.EmptyRows {
+		t.Errorf("re-run health diverged: %v vs %v", h2, hl)
+	}
+}
+
+func TestCensusAllStickyCrashesQuarantine(t *testing.T) {
+	w, h, _, _, _ := testbed(t)
+	pl := platform.PlanetLab(cities.Default())
+	vps := pl.Sample(12, 6)
+	const round = 12
+	cfg := Config{Seed: 9, MaxAttempts: 2, RetryBackoff: -1}
+
+	plan := faultPlan(t, netsim.FaultConfig{Seed: 4, CrashFraction: 0.5, CrashStickiness: 1})
+	_, recovering, quarantined := predict(vps, plan, round)
+	if len(recovering) != 0 {
+		t.Fatalf("stickiness 1 left %d VPs recoverable", len(recovering))
+	}
+	if len(quarantined) == 0 {
+		t.Fatal("plan quarantines nobody")
+	}
+
+	run, err := ExecuteContext(context.Background(), w.WithFaults(plan), vps, h, nil, round, cfg)
+	if err == nil {
+		t.Fatal("fully sticky plan produced no error")
+	}
+	hl := run.Health
+	if hl.Recovered != 0 || len(hl.Quarantined) != len(quarantined) {
+		t.Errorf("health = %v, want 0 recovered, %d quarantined", hl, len(quarantined))
+	}
+	if hl.Retries != len(quarantined)*(cfg.MaxAttempts-1) {
+		t.Errorf("retries = %d", hl.Retries)
+	}
+	for _, vh := range hl.PerVP {
+		if vh.Quarantined && vh.Attempts != cfg.MaxAttempts {
+			t.Errorf("%s quarantined after %d attempts, want the full budget %d",
+				vh.VP, vh.Attempts, cfg.MaxAttempts)
+		}
+	}
+}
+
+func TestCensusMaxAttemptsOneDisablesRetry(t *testing.T) {
+	w, h, _, _, _ := testbed(t)
+	pl := platform.PlanetLab(cities.Default())
+	vps := pl.Sample(10, 7)
+	const round = 13
+	plan := faultPlan(t, netsim.FaultConfig{Seed: 2, CrashFraction: 0.5})
+	_, recovering, quarantined := predict(vps, plan, round)
+	if len(recovering)+len(quarantined) == 0 {
+		t.Fatal("plan crashes nobody")
+	}
+	run, err := ExecuteContext(context.Background(), w.WithFaults(plan), vps, h, nil, round,
+		Config{Seed: 9, MaxAttempts: 1, RetryBackoff: -1})
+	if err == nil {
+		t.Fatal("crashes with no retry budget produced no error")
+	}
+	hl := run.Health
+	if hl.Retries != 0 || hl.Recovered != 0 {
+		t.Errorf("MaxAttempts=1 retried anyway: %v", hl)
+	}
+	// Without retries every crashed VP — sticky or not — is quarantined.
+	if len(hl.Quarantined) != len(recovering)+len(quarantined) {
+		t.Errorf("quarantined %d, want %d", len(hl.Quarantined), len(recovering)+len(quarantined))
+	}
+}
+
+func TestCombineRejectsDivergentTargets(t *testing.T) {
+	// Regression: Combine used to compare target-list lengths only, so two
+	// censuses over different hitlists of the same size would min-combine
+	// RTTs of unrelated targets. Contents must match, index by index.
+	_, _, _, r1, _ := testbed(t)
+	swapped := make([]netsim.IP, len(r1.Targets))
+	copy(swapped, r1.Targets)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	bad := &Run{Targets: swapped}
+	_, err := Combine(r1, bad)
+	if err == nil {
+		t.Fatal("divergent target lists accepted")
+	}
+	if !strings.Contains(err.Error(), "diverges at index 0") {
+		t.Errorf("error does not point at the first mismatch: %v", err)
+	}
+}
+
+func TestRunHealthRoundTrip(t *testing.T) {
+	// The health summary must survive the run's storage format.
+	w, h, _, _, _ := testbed(t)
+	pl := platform.PlanetLab(cities.Default())
+	vps := pl.Sample(8, 8)
+	plan := faultPlan(t, netsim.FaultConfig{Seed: 6, CrashFraction: 0.6, CrashStickiness: 1})
+	run, _ := ExecuteContext(context.Background(), w.WithFaults(plan), vps, h, nil, 14,
+		Config{Seed: 9, MaxAttempts: 2, RetryBackoff: -1})
+	if !run.Health.Degraded() {
+		t.Skip("plan quarantined nobody at this seed")
+	}
+	var buf bytes.Buffer
+	if err := SaveRun(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := LoadRun(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Health.Round != run.Health.Round ||
+		len(rt.Health.Quarantined) != len(run.Health.Quarantined) ||
+		rt.Health.Retries != run.Health.Retries ||
+		rt.Health.PartialRows != run.Health.PartialRows {
+		t.Errorf("health does not round trip: %v vs %v", rt.Health, run.Health)
+	}
+}
+
+func TestCampaignHealthAggregation(t *testing.T) {
+	var c CampaignHealth
+	if c.Degraded() {
+		t.Error("zero campaign degraded")
+	}
+	c.Add(RunHealth{Round: 1, VPs: 10, Completed: 9, Retries: 2, Recovered: 1,
+		Quarantined: []string{"vpB", "vpA"}, PartialRows: 2, EmptyRows: 1})
+	c.Add(RunHealth{Round: 2, VPs: 10, Completed: 10, Retries: 1, Recovered: 1,
+		Quarantined: []string{"vpA", "vpC"}})
+	if c.Rounds != 2 || c.VPRuns != 20 || c.Completed != 19 || c.Retries != 3 || c.Recovered != 2 {
+		t.Errorf("campaign counters: %+v", c)
+	}
+	// The quarantined union is deduplicated and sorted.
+	want := []string{"vpA", "vpB", "vpC"}
+	if len(c.Quarantined) != len(want) {
+		t.Fatalf("quarantined union = %v", c.Quarantined)
+	}
+	for i, vp := range want {
+		if c.Quarantined[i] != vp {
+			t.Fatalf("quarantined union = %v, want %v", c.Quarantined, want)
+		}
+	}
+	if !c.Degraded() || c.String() == "" {
+		t.Error("degraded campaign not reported")
+	}
+}

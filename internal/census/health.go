@@ -1,0 +1,107 @@
+package census
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the degraded-mode bookkeeping of the census. The paper's
+// campaigns never ran on a healthy platform — PlanetLab attrition is why a
+// census advertised as ~300 vantage points shipped with 240–270 (Fig. 12
+// legend) — so a production census must report how it degraded, not just
+// what it measured. RunHealth summarizes one census round's recovery
+// story; CampaignHealth aggregates the rounds of one snapshot build so the
+// serving layer can expose a degraded campaign to operators.
+
+// VPHealth is the recovery record of one vantage point within a census.
+type VPHealth struct {
+	VP string `json:"vp"`
+	// Attempts is how many probing attempts ran (1 for a clean pass).
+	Attempts int `json:"attempts"`
+	// Recovered marks a VP that failed at least once and then completed.
+	Recovered bool `json:"recovered,omitempty"`
+	// Quarantined marks a VP that exhausted its attempt budget; its row
+	// holds whatever samples its attempts gathered.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Skipped marks a VP that never ran (census cancelled first).
+	Skipped bool `json:"skipped,omitempty"`
+	// Err is the final probing error, "" when the VP completed.
+	Err string `json:"err,omitempty"`
+}
+
+// RunHealth summarizes how one census round degraded and recovered.
+type RunHealth struct {
+	Round uint64 `json:"round"`
+	// VPs is the round's vantage-point count, Completed how many
+	// finished a full probing pass (first try or after retries).
+	VPs       int `json:"vps"`
+	Completed int `json:"completed"`
+	// Retries is the total number of retry attempts across VPs.
+	Retries int `json:"retries"`
+	// Recovered counts VPs that failed at least once, then completed.
+	Recovered int `json:"recovered"`
+	// Quarantined lists the VPs that exhausted the attempt budget.
+	Quarantined []string `json:"quarantined,omitempty"`
+	// PartialRows counts quarantined rows that still carry samples;
+	// EmptyRows counts rows with no samples at all (quarantined early,
+	// or skipped on cancellation).
+	PartialRows int `json:"partial_rows"`
+	EmptyRows   int `json:"empty_rows"`
+	// PerVP is the detailed per-vantage-point record, in run order.
+	PerVP []VPHealth `json:"-"`
+}
+
+// Degraded reports whether the round lost any vantage point for good.
+func (h RunHealth) Degraded() bool { return len(h.Quarantined) > 0 }
+
+func (h RunHealth) String() string {
+	return fmt.Sprintf("round %d: %d/%d VPs completed, %d retries, %d recovered, %d quarantined (%d partial, %d empty rows)",
+		h.Round, h.Completed, h.VPs, h.Retries, h.Recovered, len(h.Quarantined), h.PartialRows, h.EmptyRows)
+}
+
+// CampaignHealth aggregates RunHealth across the rounds of one campaign
+// (one snapshot build). The zero value is a healthy, empty campaign.
+type CampaignHealth struct {
+	Rounds    int `json:"rounds"`
+	VPRuns    int `json:"vp_runs"`
+	Completed int `json:"completed"`
+	Retries   int `json:"retries"`
+	Recovered int `json:"recovered"`
+	// Quarantined is the sorted, deduplicated union of quarantined VP
+	// names across rounds.
+	Quarantined []string `json:"quarantined_vps,omitempty"`
+	PartialRows int      `json:"partial_rows"`
+	EmptyRows   int      `json:"empty_rows"`
+}
+
+// Add folds one round's health into the campaign summary.
+func (c *CampaignHealth) Add(h RunHealth) {
+	c.Rounds++
+	c.VPRuns += h.VPs
+	c.Completed += h.Completed
+	c.Retries += h.Retries
+	c.Recovered += h.Recovered
+	c.PartialRows += h.PartialRows
+	c.EmptyRows += h.EmptyRows
+	if len(h.Quarantined) > 0 {
+		seen := make(map[string]bool, len(c.Quarantined)+len(h.Quarantined))
+		for _, vp := range c.Quarantined {
+			seen[vp] = true
+		}
+		for _, vp := range h.Quarantined {
+			if !seen[vp] {
+				seen[vp] = true
+				c.Quarantined = append(c.Quarantined, vp)
+			}
+		}
+		sort.Strings(c.Quarantined)
+	}
+}
+
+// Degraded reports whether any round quarantined a vantage point.
+func (c CampaignHealth) Degraded() bool { return len(c.Quarantined) > 0 }
+
+func (c CampaignHealth) String() string {
+	return fmt.Sprintf("%d rounds: %d/%d VP runs completed, %d retries, %d recovered, %d quarantined VPs (%d partial, %d empty rows)",
+		c.Rounds, c.Completed, c.VPRuns, c.Retries, c.Recovered, len(c.Quarantined), c.PartialRows, c.EmptyRows)
+}

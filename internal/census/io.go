@@ -22,6 +22,7 @@ type runDisk struct {
 	RTTus    [][]int32
 	Stats    []prober.Stats
 	Greylist map[netsim.IP]netsim.ReplyKind
+	Health   RunHealth
 }
 
 // SaveRun writes the census run to w.
@@ -37,6 +38,7 @@ func SaveRun(w io.Writer, r *Run) error {
 		RTTus:    r.RTTus,
 		Stats:    r.Stats,
 		Greylist: r.Greylist.Snapshot(),
+		Health:   r.Health,
 	}
 	if err := gob.NewEncoder(fw).Encode(&disk); err != nil {
 		return fmt.Errorf("census: encode run: %w", err)
@@ -70,5 +72,6 @@ func LoadRun(r io.Reader) (*Run, error) {
 		RTTus:    disk.RTTus,
 		Stats:    disk.Stats,
 		Greylist: prober.FromSnapshot(disk.Greylist),
+		Health:   disk.Health,
 	}, nil
 }

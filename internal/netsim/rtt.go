@@ -75,6 +75,9 @@ func (w *World) ProbeICMP(vp platform.VP, target IP, round uint64) Reply {
 	if !ok {
 		return Reply{Kind: ReplyTimeout}
 	}
+	if w.faults.TargetUnreachable(target.Prefix(), round) {
+		return Reply{Kind: ReplyTimeout}
+	}
 	// Transient loss: a few percent of probes get no answer in any given
 	// census round; repeating the census recovers them (one reason the
 	// combination of censuses has higher recall, Sec. 4.1).
@@ -115,6 +118,9 @@ func (w *World) ProbeICMP(vp platform.VP, target IP, round uint64) Reply {
 func (w *World) ProbeTCP(vp platform.VP, target IP, port uint16, round uint64) Reply {
 	i, ok := w.byPrefix[target.Prefix()]
 	if !ok {
+		return Reply{Kind: ReplyTimeout}
+	}
+	if w.faults.TargetUnreachable(target.Prefix(), round) {
 		return Reply{Kind: ReplyTimeout}
 	}
 	if i >= 0 {

@@ -169,6 +169,10 @@ type World struct {
 	// hijacks holds injected BGP hijacks (Sec. 5 extension); see
 	// InjectHijack.
 	hijacks map[Prefix24]hijack
+
+	// faults is the installed failure schedule; nil means a perfectly
+	// healthy substrate. See InstallFaults and WithFaults.
+	faults *FaultPlan
 }
 
 // hijack describes one injected prefix hijack.
@@ -291,6 +295,25 @@ func New(cfg Config) *World {
 
 // Config returns the world configuration.
 func (w *World) Config() Config { return w.cfg }
+
+// InstallFaults attaches a failure schedule to the world; nil removes it.
+// Like InjectHijack it must happen before probing starts and is not safe
+// to call concurrently with probes — use WithFaults for a race-free view.
+func (w *World) InstallFaults(p *FaultPlan) { w.faults = p }
+
+// WithFaults returns a shallow view of the world with the fault plan
+// installed. The view shares every index with the receiver (worlds are
+// immutable once built), so it is cheap and safe to probe the original and
+// the view concurrently.
+func (w *World) WithFaults(p *FaultPlan) *World {
+	w2 := *w
+	w2.faults = p
+	return &w2
+}
+
+// Faults returns the installed fault plan, nil when the substrate is
+// healthy.
+func (w *World) Faults() *FaultPlan { return w.faults }
 
 // Deployments returns every anycast deployment. The slice must not be
 // modified.

@@ -102,6 +102,12 @@ type Config struct {
 	Round uint64
 	// Seed decorrelates the LFSR permutation between runs.
 	Seed uint64
+	// Attempt is the retry attempt number within the round (0 for the
+	// first try). It is threaded to the world's fault plan so a vantage
+	// point that crashed can recover — or crash again — on retry; it
+	// does not change the permutation or the RTT draws, so samples from
+	// different attempts of the same round agree.
+	Attempt int
 	// Wire routes every probe through the packet codecs (IPv4 + ICMP
 	// marshal on send, parse on receive) instead of the fast path. The
 	// two are behaviourally identical; wire mode buys fidelity at a
@@ -124,14 +130,18 @@ type Stats struct {
 	Errors        int
 	Timeouts      int
 	SourceDropped int
+	// FaultLost counts probes lost to injected flap/burst faults; they
+	// are included in Timeouts.
+	FaultLost int
 	// Completion is the simulated wall-clock duration of the run,
-	// including the host's load factor (Fig. 8).
+	// including the host's load factor (Fig. 8). Only probes actually
+	// sent take wall-clock time: greylist-skipped targets cost nothing.
 	Completion time.Duration
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%s: sent=%d echo=%d err=%d timeout=%d dropped=%d in %v",
-		s.VP.Name, s.Sent, s.Echo, s.Errors, s.Timeouts, s.SourceDropped, s.Completion.Round(time.Second))
+	return fmt.Sprintf("%s: sent=%d echo=%d err=%d timeout=%d dropped=%d faultlost=%d in %v",
+		s.VP.Name, s.Sent, s.Echo, s.Errors, s.Timeouts, s.SourceDropped, s.FaultLost, s.Completion.Round(time.Second))
 }
 
 // Run probes every target from the vantage point, skipping greylisted
@@ -141,7 +151,10 @@ func (s Stats) String() string {
 //
 // A wire-path failure (packet marshal/parse) aborts the run and is
 // returned as an error together with the partial statistics, so one
-// misbehaving vantage point cannot take down a whole census.
+// misbehaving vantage point cannot take down a whole census. When the
+// world carries a fault plan, an injected VP crash aborts the run the same
+// way with a *netsim.VPCrashError (retryable via Config.Attempt), and
+// flap/burst faults surface as elevated timeouts in the statistics.
 func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, cfg Config, sink func(record.Sample)) (Stats, *Greylist, error) {
 	stats := Stats{VP: vp}
 	found := NewGreylist()
@@ -158,18 +171,41 @@ func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, c
 	rate := cfg.rate()
 	dropProb := w.SourceDropProb(vp, rate)
 	msPerProbe := 1000.0 / rate
+	finish := func() {
+		stats.Completion = time.Duration(float64(stats.Sent) / rate * vp.LoadFactor * float64(time.Second))
+	}
+
+	faults := w.Faults()
+	crashAt, crashes := faults.CrashIndex(vp.ID, cfg.Round, cfg.Attempt, n)
 
 	for i := uint64(0); ; i++ {
 		idx, ok := perm.Next()
 		if !ok {
 			break
 		}
+		if crashes && i >= crashAt {
+			// The vantage point dies under the prober mid-run: the
+			// samples gathered so far stand, the rest never happen.
+			finish()
+			return stats, found, &netsim.VPCrashError{
+				VP: vp.Name, Round: cfg.Round, Attempt: cfg.Attempt, ProbeIndex: i,
+			}
+		}
 		target := targets[idx]
 		if skip != nil && skip.Contains(target) {
 			continue
 		}
 		stats.Sent++
-		tsMs := uint32(float64(i) * msPerProbe * vp.LoadFactor)
+		// The probe clock advances only for probes actually sent:
+		// greylist-skipped targets consume no wall-clock time.
+		tsMs := uint32(float64(stats.Sent-1) * msPerProbe * vp.LoadFactor)
+		if faults.ReplyLost(vp.ID, cfg.Round, i, n) {
+			// Flap window or loss burst: the probe is out, nothing
+			// comes back.
+			stats.FaultLost++
+			stats.Timeouts++
+			continue
+		}
 		var reply netsim.Reply
 		if cfg.Wire {
 			// Full packet path: marshal the probe, exchange datagrams,
@@ -215,7 +251,7 @@ func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, c
 		}
 	}
 
-	stats.Completion = time.Duration(float64(len(targets)) / rate * vp.LoadFactor * float64(time.Second))
+	finish()
 	return stats, found, nil
 }
 

@@ -149,11 +149,20 @@ func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) int {
 		return writeJSONStatus(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
 	}
 	snap := a.store.Current()
-	return writeJSONStatus(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":   "ok",
 		"version":  snap.Version(),
 		"prefixes": snap.Len(),
-	})
+	}
+	// A degraded campaign still serves (the paper's censuses survived
+	// PlanetLab attrition the same way), but the health check says so:
+	// the body flips to "degraded" and names the quarantined count while
+	// the 200 keeps load balancers routing to the node.
+	if h := snap.Health(); h.Degraded() {
+		body["status"] = "degraded"
+		body["quarantined_vps"] = len(h.Quarantined)
+	}
+	return writeJSONStatus(w, http.StatusOK, body)
 }
 
 // handleLookup classifies one IP: GET /v1/lookup?ip=8.8.8.8[&instances=1].
@@ -248,6 +257,9 @@ func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) int {
 	body := map[string]any{
 		"store":     a.store.Stats(),
 		"endpoints": a.endpointStats(),
+	}
+	if snap := a.store.Current(); snap != nil {
+		body["campaign_health"] = snap.Health()
 	}
 	if a.refresher != nil {
 		body["refresher"] = a.refresher.Stats()

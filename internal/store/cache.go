@@ -65,8 +65,11 @@ func (c *cache) shard(ip netsim.IP) *cacheShard {
 	return c.shards[(h>>16)&c.mask]
 }
 
-// get returns the cached answer and its snapshot version.
-func (c *cache) get(ip netsim.IP) (*Entry, uint64, bool) {
+// get returns the answer cached against the given current snapshot
+// version. An entry computed against an older snapshot is dead weight: it
+// is evicted on sight — never promoted — so stale entries cannot pin dead
+// snapshots in memory under LRU pressure.
+func (c *cache) get(ip netsim.IP, current uint64) (*Entry, uint64, bool) {
 	s := c.shard(ip)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -74,8 +77,13 @@ func (c *cache) get(ip netsim.IP) (*Entry, uint64, bool) {
 	if !ok {
 		return nil, 0, false
 	}
-	s.ll.MoveToFront(el)
 	it := el.Value.(*cacheItem)
+	if it.version != current {
+		s.ll.Remove(el)
+		delete(s.m, ip)
+		return nil, it.version, false
+	}
+	s.ll.MoveToFront(el)
 	return it.entry, it.version, true
 }
 

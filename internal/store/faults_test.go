@@ -1,0 +1,160 @@
+package store
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"anycastmap/internal/census"
+	"anycastmap/internal/netsim"
+)
+
+func TestCacheEvictsStaleVersionOnGet(t *testing.T) {
+	// Regression: get used to MoveToFront before the caller's version
+	// check, so entries from dead snapshots were promoted to the hot end
+	// of the LRU and could pin old snapshot memory indefinitely. A stale
+	// hit must evict the entry instead.
+	c := newCache(4, 1)
+	ip := netsim.IP(42)
+	c.put(ip, &Entry{}, 1)
+	if _, _, ok := c.get(ip, 2); ok {
+		t.Fatal("stale entry returned as a hit")
+	}
+	if c.len() != 0 {
+		t.Fatalf("stale entry still cached: len = %d", c.len())
+	}
+
+	// The promotion bug in full: a stale entry touched by get must not
+	// outlive fresher entries under eviction pressure.
+	c = newCache(4, 1)
+	c.put(netsim.IP(1), &Entry{}, 1) // stale-to-be
+	for i := 2; i <= 4; i++ {
+		c.put(netsim.IP(i), &Entry{}, 2)
+	}
+	c.get(netsim.IP(1), 2) // would have promoted ip1 before the fix
+	c.put(netsim.IP(5), &Entry{}, 2)
+	if _, _, ok := c.get(netsim.IP(2), 2); !ok {
+		t.Error("fresh entry evicted while a stale one survived")
+	}
+	if _, _, ok := c.get(netsim.IP(1), 2); ok {
+		t.Error("stale entry survived eviction pressure")
+	}
+}
+
+func TestStoreLookupAfterSwapRefreshesCache(t *testing.T) {
+	st := New(Options{CacheSize: 64})
+	st.Publish(testSnapshot(t, 4))
+	ip, _ := netsim.ParseIP("10.10.2.7")
+	if ans := st.Lookup(ip); ans.Version != 1 {
+		t.Fatalf("first lookup version %d", ans.Version)
+	}
+	st.Publish(testSnapshot(t, 4))
+	misses := st.Stats().Misses
+	ans := st.Lookup(ip)
+	if ans.Version != 2 {
+		t.Errorf("post-swap lookup served version %d", ans.Version)
+	}
+	if st.Stats().Misses != misses+1 {
+		t.Error("stale cache entry served as a hit after the swap")
+	}
+	// And the refreshed entry is a hit on the next lookup.
+	hits := st.Stats().CacheHits
+	if st.Lookup(ip); st.Stats().CacheHits != hits+1 {
+		t.Error("refreshed entry not cached")
+	}
+}
+
+// degradedSource wires the smallSource testbed over a world whose fault
+// plan permanently crashes a share of the vantage points.
+func degradedSource(t testing.TB) *CensusSource {
+	t.Helper()
+	cs := smallSource(t)
+	plan, err := netsim.NewFaultPlan(netsim.FaultConfig{
+		Seed: 99, CrashFraction: 0.3, CrashStickiness: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.World = cs.World.WithFaults(plan)
+	cs.Census = census.Config{MaxAttempts: 2, RetryBackoff: -1}
+	return cs
+}
+
+func TestDegradedCampaignServedAndSurfaced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real census round")
+	}
+	cs := degradedSource(t)
+	snap, err := cs.Build(context.Background())
+	if err == nil {
+		t.Fatal("degraded campaign built without error")
+	}
+	if snap == nil {
+		t.Fatal("degraded campaign yielded no snapshot")
+	}
+	h := snap.Health()
+	if !snap.Degraded() || len(h.Quarantined) == 0 {
+		t.Fatalf("campaign health not degraded: %+v", h)
+	}
+	if h.Rounds != 1 || h.Completed+len(h.Quarantined) < h.VPRuns {
+		t.Errorf("campaign accounting off: %+v", h)
+	}
+	if snap.Len() == 0 {
+		t.Fatal("degraded campaign detected nothing despite surviving VPs")
+	}
+
+	// The refresher publishes the partial snapshot and counts the
+	// degradation.
+	st := New(Options{})
+	r := NewRefresher(st, SourceFunc(func(context.Context) (*Snapshot, error) {
+		return snap, err
+	}), time.Hour)
+	if !r.RefreshOnce(context.Background()) {
+		t.Fatal("degraded snapshot not published")
+	}
+	if r.Stats().DegradedPublishes != 1 {
+		t.Errorf("degraded publishes = %d, want 1", r.Stats().DegradedPublishes)
+	}
+
+	// The operator surfaces: /healthz flips to degraded, /v1/stats carries
+	// the campaign health.
+	a := NewAPI(st, r, APIConfig{})
+	rec, body := doJSON(t, a, http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	if body["status"] != "degraded" {
+		t.Errorf("healthz status = %v, want degraded", body["status"])
+	}
+	if int(body["quarantined_vps"].(float64)) != len(h.Quarantined) {
+		t.Errorf("healthz quarantined_vps = %v, want %d", body["quarantined_vps"], len(h.Quarantined))
+	}
+
+	rec, body = doJSON(t, a, http.MethodGet, "/v1/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	ch, ok := body["campaign_health"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing campaign_health: %v", body)
+	}
+	if got := len(ch["quarantined_vps"].([]any)); got != len(h.Quarantined) {
+		t.Errorf("stats quarantined_vps = %d, want %d", got, len(h.Quarantined))
+	}
+	if int(ch["retries"].(float64)) != h.Retries {
+		t.Errorf("stats retries = %v, want %d", ch["retries"], h.Retries)
+	}
+	ref, ok := body["refresher"].(map[string]any)
+	if !ok || int(ref["degraded_publishes"].(float64)) != 1 {
+		t.Errorf("refresher stats missing degradation: %v", body["refresher"])
+	}
+
+	// Quarantine thins rows but the surviving samples still serve lookups.
+	for _, e := range snap.Entries() {
+		ans := st.Lookup(e.Prefix.Host(1))
+		if !ans.Anycast || ans.Entry.ASN != e.ASN {
+			t.Fatalf("entry %v not servable from degraded snapshot: %+v", e.Prefix, ans)
+		}
+	}
+}

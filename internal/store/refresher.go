@@ -45,6 +45,7 @@ type Refresher struct {
 	Log func(format string, args ...any)
 
 	completed atomic.Uint64
+	degraded  atomic.Uint64
 	failed    atomic.Uint64
 	panics    atomic.Uint64
 	lastNanos atomic.Int64
@@ -102,6 +103,10 @@ func (r *Refresher) RefreshOnce(ctx context.Context) (published bool) {
 	if err != nil {
 		r.logf("store: refresh degraded (publishing partial snapshot): %v", err)
 	}
+	if snap.Degraded() {
+		r.degraded.Add(1)
+		r.logf("store: campaign degraded: %s", snap.Health())
+	}
 	v := r.store.Publish(snap)
 	r.completed.Add(1)
 	r.logf("store: published snapshot v%d: %d anycast /24s, %d ASes, %d replicas (%v)",
@@ -117,21 +122,25 @@ func (r *Refresher) logf(format string, args ...any) {
 
 // RefresherStats is a point-in-time copy of the refresh counters.
 type RefresherStats struct {
-	Completed   uint64        `json:"completed"`
-	Failed      uint64        `json:"failed"`
-	Panics      uint64        `json:"panics"`
-	LastRefresh time.Duration `json:"last_refresh_ns"`
-	Interval    time.Duration `json:"interval_ns"`
+	Completed uint64 `json:"completed"`
+	// DegradedPublishes counts published snapshots whose campaign
+	// quarantined at least one vantage point.
+	DegradedPublishes uint64        `json:"degraded_publishes"`
+	Failed            uint64        `json:"failed"`
+	Panics            uint64        `json:"panics"`
+	LastRefresh       time.Duration `json:"last_refresh_ns"`
+	Interval          time.Duration `json:"interval_ns"`
 }
 
 // Stats samples the counters.
 func (r *Refresher) Stats() RefresherStats {
 	return RefresherStats{
-		Completed:   r.completed.Load(),
-		Failed:      r.failed.Load(),
-		Panics:      r.panics.Load(),
-		LastRefresh: time.Duration(r.lastNanos.Load()),
-		Interval:    r.interval,
+		Completed:         r.completed.Load(),
+		DegradedPublishes: r.degraded.Load(),
+		Failed:            r.failed.Load(),
+		Panics:            r.panics.Load(),
+		LastRefresh:       time.Duration(r.lastNanos.Load()),
+		Interval:          r.interval,
 	}
 }
 
@@ -190,6 +199,7 @@ func (cs *CensusSource) Build(ctx context.Context) (*Snapshot, error) {
 	var runs []*census.Run
 	var degraded error
 	var last uint64
+	var health census.CampaignHealth
 	for i := 0; i < cs.rounds(); i++ {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -205,6 +215,7 @@ func (cs *CensusSource) Build(ctx context.Context) (*Snapshot, error) {
 			}
 			degraded = err
 		}
+		health.Add(run.Health)
 		runs = append(runs, run)
 	}
 	combined, err := census.Combine(runs...)
@@ -213,5 +224,7 @@ func (cs *CensusSource) Build(ctx context.Context) (*Snapshot, error) {
 	}
 	outcomes := census.AnalyzeAll(cs.Cities, combined, core.Options{}, cs.MinSamples, 0)
 	findings := analysis.Attribute(outcomes, cs.Table)
-	return NewSnapshot(findings, cs.Registry, last, len(runs)), degraded
+	snap := NewSnapshot(findings, cs.Registry, last, len(runs))
+	snap.SetHealth(health)
+	return snap, degraded
 }

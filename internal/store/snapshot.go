@@ -15,6 +15,7 @@ import (
 
 	"anycastmap/internal/analysis"
 	"anycastmap/internal/asdb"
+	"anycastmap/internal/census"
 	"anycastmap/internal/netsim"
 )
 
@@ -57,6 +58,7 @@ type Snapshot struct {
 	round   uint64
 	rounds  int
 	builtAt time.Time
+	health  census.CampaignHealth
 
 	// prefixes is sorted ascending; entries is parallel to it. The pair
 	// is the O(log n) lookup index: a /24 probe key binary-searches
@@ -134,6 +136,19 @@ func (s *Snapshot) LookupPrefix(p netsim.Prefix24) (*Entry, bool) {
 	}
 	return nil, false
 }
+
+// SetHealth records the campaign health of the snapshot's build. Like
+// every other field it must be set before the snapshot is published.
+func (s *Snapshot) SetHealth(h census.CampaignHealth) { s.health = h }
+
+// Health returns the campaign health recorded at build time. The zero
+// value means a clean campaign (or a snapshot built before health
+// tracking).
+func (s *Snapshot) Health() census.CampaignHealth { return s.health }
+
+// Degraded reports whether the snapshot's campaign quarantined any
+// vantage point.
+func (s *Snapshot) Degraded() bool { return s.health.Degraded() }
 
 // Version is the publish stamp, 0 before the snapshot is published.
 func (s *Snapshot) Version() uint64 { return s.version }

@@ -75,7 +75,7 @@ func (s *Store) Lookup(ip netsim.IP) Answer {
 	if snap == nil {
 		return Answer{IP: ip}
 	}
-	if e, v, ok := s.cache.get(ip); ok && v == snap.version {
+	if e, v, ok := s.cache.get(ip, snap.version); ok {
 		s.hits.Add(1)
 		return Answer{IP: ip, Anycast: e != nil, Entry: e, Version: v}
 	}

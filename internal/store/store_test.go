@@ -171,18 +171,18 @@ func TestCacheEviction(t *testing.T) {
 		c.put(ip, e, 1)
 	}
 	// Touch ip0 so ip1 becomes the LRU victim.
-	if _, _, ok := c.get(ips[0]); !ok {
+	if _, _, ok := c.get(ips[0], 1); !ok {
 		t.Fatal("warm entry missing")
 	}
 	c.put(ips[4], e, 1)
 	if c.len() != 4 {
 		t.Fatalf("cache len = %d, want 4", c.len())
 	}
-	if _, _, ok := c.get(ips[1]); ok {
+	if _, _, ok := c.get(ips[1], 1); ok {
 		t.Error("LRU victim still cached")
 	}
 	for _, ip := range []netsim.IP{ips[0], ips[2], ips[3], ips[4]} {
-		if _, _, ok := c.get(ip); !ok {
+		if _, _, ok := c.get(ip, 1); !ok {
 			t.Errorf("entry %v wrongly evicted", ip)
 		}
 	}
@@ -191,7 +191,7 @@ func TestCacheEviction(t *testing.T) {
 	if c.len() != 4 {
 		t.Errorf("overwrite changed len to %d", c.len())
 	}
-	if got, v, _ := c.get(ips[0]); got != nil || v != 2 {
+	if got, v, _ := c.get(ips[0], 2); got != nil || v != 2 {
 		t.Errorf("overwrite not applied: %v v%d", got, v)
 	}
 }
