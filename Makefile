@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify clean
+.PHONY: all build vet test race verify clean bench bench-smoke bench-json profile
 
 all: verify
 
@@ -22,5 +22,25 @@ race:
 
 verify: vet build race
 
+# bench runs the probe-path, prober, census and serving microbenchmarks
+# with allocation reporting; compare runs with benchstat if available.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/netsim ./internal/prober ./internal/census ./internal/store .
+
+# bench-smoke is the CI gate: every benchmark must still run (one
+# iteration), catching bit-rot in the benchmark harness itself.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/netsim ./internal/prober ./internal/census ./internal/store .
+
+# bench-json regenerates the committed benchmark trajectory point.
+bench-json:
+	$(GO) run ./cmd/benchreport -exp none -benchjson BENCH_3.json
+
+# profile captures CPU and heap profiles of a full census run; inspect
+# with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/census -unicast24s 8000 -censuses 2 -cpuprofile cpu.pprof -memprofile mem.pprof
+
 clean:
 	$(GO) clean ./...
+	rm -f cpu.pprof mem.pprof

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"anycastmap/internal/experiments"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/prober"
+	"anycastmap/internal/record"
+	"anycastmap/internal/store"
+)
+
+// benchMetrics is one measured point of the benchmark trajectory. All
+// numbers come from live runs of the same code paths the benchmarks in
+// bench_test.go exercise, so baseline and current entries are comparable
+// across commits on the same machine.
+type benchMetrics struct {
+	// FullCampaignNs is the wall-clock of one complete campaign (world
+	// build + blacklist + 4 censuses + combine + analysis) at the
+	// BenchmarkFullCampaign scale (4,000 unicast /24s, seed 3000).
+	FullCampaignNs float64 `json:"full_campaign_ns_op"`
+	// CampaignWallclockS is the wall-clock of the lab build at the scale
+	// selected on the command line (default 20,000 unicast /24s).
+	CampaignWallclockS float64 `json:"campaign_wallclock_s,omitempty"`
+	// ProbesPerS is the single-VP probing-loop throughput over the pruned
+	// hitlist (the census hot loop: LFSR walk, greylist check, probe).
+	ProbesPerS float64 `json:"probes_per_s"`
+	// LookupsPerS is the anycastd serving-path throughput: snapshot index
+	// lookups over an alternating anycast/unicast address mix.
+	LookupsPerS float64 `json:"lookups_per_s,omitempty"`
+	// AllocsPerProbe is heap allocations per probe in a steady-state
+	// probing run (the acceptance bound is zero: the constant per-run
+	// setup amortizes to ~0 over thousands of probes).
+	AllocsPerProbe float64 `json:"allocs_per_probe"`
+	Note           string  `json:"note,omitempty"`
+}
+
+type benchReport struct {
+	Bench    string `json:"bench"`
+	Go       string `json:"go"`
+	GOOS     string `json:"goos"`
+	GOARCH   string `json:"goarch"`
+	CPUs     int    `json:"cpus"`
+	Captured string `json:"captured"`
+
+	Unicast24s int    `json:"unicast24s"`
+	Censuses   int    `json:"censuses"`
+	Seed       uint64 `json:"seed"`
+
+	Baseline benchMetrics `json:"baseline"`
+	Current  benchMetrics `json:"current"`
+	// SpeedupFullCampaign is baseline/current for the FullCampaign time —
+	// the headline number the probe-path memoization is judged by.
+	SpeedupFullCampaign float64 `json:"speedup_full_campaign"`
+}
+
+// seedBaseline holds the pre-memoization numbers, measured with
+// `go test -bench` at commit f5729cc on the machine that produced the
+// committed BENCH_3.json. It seeds the baseline the first time the file is
+// written; after that the file's own baseline is preserved across re-runs.
+var seedBaseline = benchMetrics{
+	FullCampaignNs: 6_723_486_527,
+	ProbesPerS:     2.20e6,  // BenchmarkProberRun: 3020925 ns/op at 6638 probes/op
+	AllocsPerProbe: 0.00075, // 5 allocs per run of 6638 probes (mutex-bound, not alloc-bound)
+	Note: "pre-change go test -bench at commit f5729cc; the serving path " +
+		"(lookups/s) is untouched by the memoization work",
+}
+
+// writeBenchJSON measures the current benchmark trajectory point and writes
+// it next to the baseline. lab and labElapsed come from the experiment run
+// the caller already paid for.
+func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration) error {
+	rep := benchReport{
+		Bench:      "BENCH_3",
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Captured:   time.Now().UTC().Format(time.RFC3339),
+		Unicast24s: lab.Config.Unicast24s,
+		Censuses:   lab.Config.Censuses,
+		Seed:       lab.Config.Seed,
+		Baseline:   seedBaseline,
+	}
+	// A baseline measured earlier on this machine outranks the built-in
+	// seed: keep it so the trajectory stays comparable across re-runs.
+	if prev, err := os.ReadFile(path); err == nil {
+		var old benchReport
+		if json.Unmarshal(prev, &old) == nil && old.Baseline.FullCampaignNs > 0 {
+			rep.Baseline = old.Baseline
+		}
+	}
+
+	fmt.Printf("bench: full campaign at BenchmarkFullCampaign scale ... ")
+	rep.Current.FullCampaignNs = measureFullCampaign()
+	fmt.Printf("%.2fs\n", rep.Current.FullCampaignNs/1e9)
+
+	rep.Current.CampaignWallclockS = labElapsed.Seconds()
+
+	fmt.Printf("bench: probing loop ... ")
+	rep.Current.ProbesPerS, rep.Current.AllocsPerProbe = measureProbing(lab)
+	fmt.Printf("%.0f probes/s, %.4f allocs/probe\n", rep.Current.ProbesPerS, rep.Current.AllocsPerProbe)
+
+	fmt.Printf("bench: serving lookups ... ")
+	rep.Current.LookupsPerS = measureLookups(lab)
+	fmt.Printf("%.0f lookups/s\n", rep.Current.LookupsPerS)
+
+	if rep.Current.FullCampaignNs > 0 {
+		rep.SpeedupFullCampaign = rep.Baseline.FullCampaignNs / rep.Current.FullCampaignNs
+	}
+	rep.Current.Note = "measured live by cmd/benchreport -benchjson"
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: %s written (full campaign %.2fx vs baseline)\n\n", path, rep.SpeedupFullCampaign)
+	return nil
+}
+
+// measureFullCampaign times one complete campaign at exactly the
+// BenchmarkFullCampaign configuration so the number is comparable to the
+// committed baseline ns/op.
+func measureFullCampaign() float64 {
+	cfg := experiments.DefaultLabConfig()
+	cfg.Unicast24s = 4000
+	cfg.Seed = 3000
+	start := time.Now()
+	l := experiments.NewLab(cfg)
+	elapsed := time.Since(start)
+	if len(l.Findings) == 0 {
+		return 0
+	}
+	return float64(elapsed.Nanoseconds())
+}
+
+// measureProbing times steady-state single-VP probing runs over the pruned
+// hitlist and counts heap allocations per probe via the runtime's
+// cumulative malloc counter (GC cannot decrease it).
+func measureProbing(lab *experiments.Lab) (probesPerS, allocsPerProbe float64) {
+	vp := lab.PL.VPs()[0]
+	targets := lab.Hitlist.Targets()
+	cfg := prober.Config{Seed: lab.Config.Seed, Round: 1}
+	sink := func(record.Sample) {}
+	// Warm the per-VP session cache and the frozen greylist view so the
+	// measured passes only see the steady state the census rounds run in.
+	if _, _, err := prober.Run(lab.World, vp, targets, lab.Black, cfg, sink); err != nil {
+		return 0, 0
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var sent int64
+	const reps = 3
+	for i := 0; i < reps; i++ {
+		stats, _, err := prober.Run(lab.World, vp, targets, lab.Black, cfg, sink)
+		if err != nil {
+			return 0, 0
+		}
+		sent += int64(stats.Sent)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if sent == 0 || elapsed <= 0 {
+		return 0, 0
+	}
+	return float64(sent) / elapsed.Seconds(),
+		float64(after.Mallocs-before.Mallocs) / float64(sent)
+}
+
+// measureLookups times the anycastd snapshot index over an alternating
+// anycast/unicast address mix (the BenchmarkStoreLookupCold workload).
+func measureLookups(lab *experiments.Lab) float64 {
+	snap := store.NewSnapshot(lab.Findings, lab.World.Registry,
+		uint64(lab.Config.Censuses), lab.Config.Censuses)
+	var ips []netsim.IP
+	for i, f := range lab.Findings {
+		ips = append(ips, f.Prefix.Host(byte(i)))
+		ips = append(ips, (f.Prefix + 1).Host(byte(i)))
+	}
+	if len(ips) == 0 {
+		return 0
+	}
+	const n = 2_000_000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		snap.Lookup(ips[i%len(ips)])
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return n / elapsed.Seconds()
+}

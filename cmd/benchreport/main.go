@@ -5,15 +5,21 @@
 // Usage:
 //
 //	benchreport [-unicast24s N] [-censuses N] [-seed S] [-exp LIST]
+//	benchreport -benchjson BENCH_3.json [-exp none]
 //
 // -exp selects a comma-separated subset of experiments, e.g.
-// "fig4,fig10,table1"; the default runs everything.
+// "fig4,fig10,table1"; the default runs everything. -benchjson measures the
+// benchmark trajectory point (campaign wall-clock, probes/s, lookups/s,
+// allocs/op) and writes it next to the committed baseline. -cpuprofile and
+// -memprofile write pprof profiles of the whole run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,8 +31,41 @@ func main() {
 	censuses := flag.Int("censuses", 4, "number of census rounds")
 	seed := flag.Uint64("seed", 2015, "world seed")
 	csvDir := flag.String("csv", "", "export the figure data series as CSV files to this directory")
-	expList := flag.String("exp", "all", "comma-separated experiments: table1,fig4..fig16,coverage,opendns,ablate-vps,ablate-rate,ablate-iter,ablate-mis,fusion,longitudinal,baselines,ripe")
+	expList := flag.String("exp", "all", "comma-separated experiments: table1,fig4..fig16,coverage,opendns,ablate-vps,ablate-rate,ablate-iter,ablate-mis,fusion,longitudinal,baselines,ripe (or: none)")
+	benchJSON := flag.String("benchjson", "", "measure the benchmark trajectory and write it to this JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := experiments.DefaultLabConfig()
 	cfg.Unicast24s = *unicast
@@ -36,8 +75,16 @@ func main() {
 	fmt.Printf("building lab: %d unicast /24s, %d censuses, seed %d ...\n", cfg.Unicast24s, cfg.Censuses, cfg.Seed)
 	start := time.Now()
 	lab := experiments.NewLab(cfg)
+	labElapsed := time.Since(start)
 	fmt.Printf("lab ready in %v: %d targets, %d anycast /24s detected of %d true\n\n",
-		time.Since(start).Round(time.Millisecond), lab.Hitlist.Len(), len(lab.Findings), len(lab.World.Deployments()))
+		labElapsed.Round(time.Millisecond), lab.Hitlist.Len(), len(lab.Findings), len(lab.World.Deployments()))
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, lab, labElapsed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	want := map[string]bool{}
 	all := *expList == "all"
@@ -88,7 +135,7 @@ func main() {
 		fmt.Printf("  [%s in %v]\n\n", e.name, time.Since(t0).Round(time.Millisecond))
 		ran++
 	}
-	if ran == 0 {
+	if ran == 0 && *benchJSON == "" {
 		fmt.Fprintf(os.Stderr, "no experiment matched -exp=%s\n", *expList)
 		os.Exit(2)
 	}

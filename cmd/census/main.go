@@ -14,6 +14,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"anycastmap/internal/analysis"
@@ -47,10 +49,40 @@ func main() {
 	faultFlap := flag.Float64("fault-flap", 0, "fraction of VPs with a total-loss flap window per round")
 	faultBurst := flag.Float64("fault-burst", 0, "fraction of VPs with bursty reply loss per round")
 	faultOutage := flag.Float64("fault-outage", 0, "fraction of /24s transiently unreachable per round")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	log.SetFlags(0)
 	start := time.Now()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	cfg := netsim.DefaultConfig()
 	cfg.Seed = *seed

@@ -1,0 +1,60 @@
+package census
+
+import (
+	"testing"
+
+	"anycastmap/internal/detrand"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/prober"
+)
+
+// synthRuns fabricates census runs with a deterministic sparse latency
+// matrix: Combine's cost depends only on the matrix shape, not on how the
+// samples were measured, so the benchmark skips the probing entirely.
+func synthRuns(rounds, nVPs, nTargets int) []*Run {
+	targets := make([]netsim.IP, nTargets)
+	for t := range targets {
+		targets[t] = netsim.IP(1<<24 + t<<8 + 1)
+	}
+	vps := make([]platform.VP, nVPs)
+	for v := range vps {
+		vps[v] = platform.VP{ID: v, Name: "vp", LoadFactor: 1}
+	}
+	runs := make([]*Run, rounds)
+	for r := range runs {
+		rttus := make([][]int32, nVPs)
+		for v := range rttus {
+			row := make([]int32, nTargets)
+			for t := range row {
+				// ~60% of cells hold a sample, like a real census row.
+				h := detrand.Hash64(uint64(r), uint64(v), uint64(t))
+				if h%10 < 6 {
+					row[t] = int32(h % 200_000)
+				} else {
+					row[t] = noSample
+				}
+			}
+			rttus[v] = row
+		}
+		runs[r] = &Run{Round: uint64(r + 1), VPs: vps, Targets: targets, RTTus: rttus, Greylist: prober.NewGreylist()}
+	}
+	return runs
+}
+
+// BenchmarkCombine measures the minimum-RTT merge of a four-census campaign
+// at a 200 VP x 20k target scale.
+func BenchmarkCombine(b *testing.B) {
+	runs := synthRuns(4, 200, 20_000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := Combine(runs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(c.VPs) != 200 {
+			b.Fatal("lost VPs in combine")
+		}
+	}
+}

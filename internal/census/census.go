@@ -19,6 +19,7 @@ import (
 
 	"anycastmap/internal/cities"
 	"anycastmap/internal/core"
+	"anycastmap/internal/geo"
 	"anycastmap/internal/hitlist"
 	"anycastmap/internal/netsim"
 	"anycastmap/internal/platform"
@@ -379,58 +380,92 @@ func Combine(runs ...*Run) (*Combined, error) {
 		}
 	}
 
-	type slot struct {
-		vp  platform.VP
-		row []int32
-	}
-	var order []int
-	byID := make(map[int]*slot)
-	for _, r := range runs {
+	// Group each VP's rows across runs (first-seen order), then min-merge
+	// the rows of different VPs in parallel: the merges are independent,
+	// and the grouping fixes both the VP order and the per-VP run order,
+	// so the result is identical at any worker count.
+	type rowRef struct{ run, vi int }
+	byID := make(map[int]int, len(runs[0].VPs)) // vp.ID -> slot
+	var vps []platform.VP
+	var sources [][]rowRef
+	for ri, r := range runs {
 		for vi, vp := range r.VPs {
-			s, ok := byID[vp.ID]
+			si, ok := byID[vp.ID]
 			if !ok {
-				row := make([]int32, len(targets))
-				copy(row, r.RTTus[vi])
-				byID[vp.ID] = &slot{vp: vp, row: row}
-				order = append(order, vp.ID)
-				continue
+				si = len(vps)
+				byID[vp.ID] = si
+				vps = append(vps, vp)
+				sources = append(sources, nil)
 			}
-			src := r.RTTus[vi]
-			for t, v := range src {
-				if v < 0 {
-					continue
-				}
-				if s.row[t] < 0 || v < s.row[t] {
-					s.row[t] = v
-				}
-			}
+			sources[si] = append(sources[si], rowRef{run: ri, vi: vi})
 		}
 	}
 
-	c := &Combined{Targets: targets, Rounds: len(runs)}
-	for _, id := range order {
-		s := byID[id]
-		c.VPs = append(c.VPs, s.vp)
-		c.RTTus = append(c.RTTus, s.row)
+	c := &Combined{Targets: targets, Rounds: len(runs), VPs: vps, RTTus: make([][]int32, len(vps))}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(vps) {
+		workers = len(vps)
 	}
+	var wg sync.WaitGroup
+	chunk := (len(vps) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(vps) {
+			hi = len(vps)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for si := lo; si < hi; si++ {
+				refs := sources[si]
+				row := make([]int32, len(targets))
+				copy(row, runs[refs[0].run].RTTus[refs[0].vi])
+				for _, ref := range refs[1:] {
+					src := runs[ref.run].RTTus[ref.vi]
+					for t, v := range src {
+						if v < 0 {
+							continue
+						}
+						if row[t] < 0 || v < row[t] {
+							row[t] = v
+						}
+					}
+				}
+				c.RTTus[si] = row
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return c, nil
 }
 
 // Measurements assembles the core.Measurement slice for one target index.
 func (c *Combined) Measurements(t int) []core.Measurement {
-	var out []core.Measurement
+	ms, _ := c.AppendMeasurements(t, nil, nil)
+	return ms
+}
+
+// AppendMeasurements appends target t's measurements to ms and the index
+// of each sample's vantage point (into c.VPs) to vpIdx, returning both.
+// Passing ms[:0]/vpIdx[:0] lets the analysis loop reuse its buffers
+// instead of allocating per target.
+func (c *Combined) AppendMeasurements(t int, ms []core.Measurement, vpIdx []int) ([]core.Measurement, []int) {
 	for v := range c.VPs {
 		us := c.RTTus[v][t]
 		if us < 0 {
 			continue
 		}
-		out = append(out, core.Measurement{
+		ms = append(ms, core.Measurement{
 			VP:    c.VPs[v].Name,
 			VPLoc: c.VPs[v].Loc,
 			RTT:   time.Duration(us) * time.Microsecond,
 		})
+		vpIdx = append(vpIdx, v)
 	}
-	return out
+	return ms, vpIdx
 }
 
 // EchoTargets returns how many targets have at least one sample.
@@ -472,6 +507,20 @@ func AnalyzeAll(db *cities.DB, c *Combined, opt core.Options, minSamples, worker
 	// inner loop of the analysis.
 	idx := cities.NewIndex(db, 10)
 
+	// Every disk the detector sees is centered at a vantage point, so one
+	// VP-pair distance matrix replaces the per-target haversines that
+	// dominate detection (borderline unicast targets fail the O(n)
+	// certificate and pay a pairwise scan). ~300 VPs is ~90k distances,
+	// amortized over tens of thousands of targets.
+	nVP := len(c.VPs)
+	vpDist := make([]float64, nVP*nVP)
+	for i := 0; i < nVP; i++ {
+		for j := i + 1; j < nVP; j++ {
+			d := geo.DistanceKm(c.VPs[i].Loc, c.VPs[j].Loc)
+			vpDist[i*nVP+j], vpDist[j*nVP+i] = d, d
+		}
+	}
+
 	results := make([]*core.Result, len(c.Targets))
 	var wg sync.WaitGroup
 	chunk := (len(c.Targets) + workers - 1) / workers
@@ -487,12 +536,19 @@ func AnalyzeAll(db *cities.DB, c *Combined, opt core.Options, minSamples, worker
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			ms := make([]core.Measurement, 0, nVP)
+			vpIdx := make([]int, 0, nVP)
+			// dist closes over vpIdx (reassigned per target): measurement
+			// a maps to vantage point vpIdx[a].
+			dist := core.CenterDist(func(a, b int) float64 {
+				return vpDist[vpIdx[a]*nVP+vpIdx[b]]
+			})
 			for t := lo; t < hi; t++ {
-				ms := c.Measurements(t)
+				ms, vpIdx = c.AppendMeasurements(t, ms[:0], vpIdx[:0])
 				if len(ms) < minSamples {
 					continue
 				}
-				r := core.AnalyzeWith(idx, ms, opt)
+				r := core.AnalyzeWithDist(idx, ms, dist, opt)
 				if r.Anycast {
 					results[t] = &r
 				}

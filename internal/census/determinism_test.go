@@ -1,0 +1,109 @@
+package census
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"anycastmap/internal/cities"
+	"anycastmap/internal/core"
+	"anycastmap/internal/hitlist"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/prober"
+	"anycastmap/internal/record"
+)
+
+// campaignDigest runs a small two-round campaign and serializes everything
+// the pipeline observes: the record-encoded per-VP latency rows, the
+// sorted greylist, and the analysis outcomes. Byte-equal digests mean the
+// pipelines are indistinguishable.
+func campaignDigest(t *testing.T, disableCache bool, workers int) []byte {
+	t.Helper()
+	wcfg := netsim.DefaultConfig()
+	wcfg.Unicast24s = 500
+	wcfg.DisableProbeCache = disableCache
+	w := netsim.New(wcfg)
+
+	pl := platform.PlanetLab(cities.Default())
+	vps := pl.VPs()[:24]
+	h := hitlist.FromWorld(w).PruneNeverAlive()
+	cfg := Config{Seed: 11, Workers: workers, RetryBackoff: -1}
+
+	blacklist, err := prober.BuildBlacklist(w, vps[0], h.Targets(), prober.Config{Seed: cfg.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	bw := record.NewBinaryWriter(&buf)
+	runs := make([]*Run, 0, 2)
+	for round := uint64(1); round <= 2; round++ {
+		run := Execute(w, vps, h, blacklist, round, cfg)
+		runs = append(runs, run)
+		// The record encoding of the matrix: row-major, fixed order. (The
+		// gob side of SaveRun serializes maps and is not byte-stable.)
+		for v := range run.VPs {
+			for ti, target := range run.Targets {
+				us := run.RTTus[v][ti]
+				if us < 0 {
+					continue
+				}
+				if err := bw.Write(record.Sample{
+					Target: target,
+					Kind:   netsim.ReplyEcho,
+					RTT:    time.Duration(us) * time.Microsecond,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Greylist: sorted snapshot.
+		snap := run.Greylist.Snapshot()
+		ips := make([]netsim.IP, 0, len(snap))
+		for ip := range snap {
+			ips = append(ips, ip)
+		}
+		sort.Slice(ips, func(a, b int) bool { return ips[a] < ips[b] })
+		for _, ip := range ips {
+			fmt.Fprintf(&buf, "grey %v %d\n", ip, snap[ip])
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	combined, err := Combine(runs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := AnalyzeAll(cities.Default(), combined, core.Options{}, 2, workers)
+	for _, o := range outcomes {
+		fmt.Fprintf(&buf, "out %v n=%d cities=%v iter=%d\n",
+			o.Target, o.Result.Count(), o.Result.Cities(), o.Result.Iterations)
+	}
+	return buf.Bytes()
+}
+
+// TestCensusDeterminism is the PR's regression gate: a census campaign's
+// record-encoded rows, greylists and analysis outcomes are byte-identical
+// across worker counts and with the probe caches on or off.
+func TestCensusDeterminism(t *testing.T) {
+	ref := campaignDigest(t, false, 1)
+	for _, tc := range []struct {
+		name         string
+		disableCache bool
+		workers      int
+	}{
+		{"cache_workers4", false, 4},
+		{"nocache_workers1", true, 1},
+		{"nocache_workers4", true, 4},
+	} {
+		got := campaignDigest(t, tc.disableCache, tc.workers)
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("%s: digest differs from cache_workers1 reference (%d vs %d bytes)", tc.name, len(got), len(ref))
+		}
+	}
+}

@@ -124,9 +124,17 @@ func (o Options) maxIter() int {
 // certificate is found does it fall back to the pairwise scan, which for
 // true anycast terminates at the first disjoint pair.
 func Detect(ms []Measurement) bool {
-	_, _, found := detectPair(disksOf(ms))
+	_, _, found := detectPair(disksOf(ms), nil)
 	return found
 }
+
+// CenterDist lets callers supply a precomputed oracle for the distance in
+// km between the centers of disks i and j, replacing the haversine
+// evaluation in the detection scans. The values must be bitwise equal to
+// geo.DistanceKm(disks[i].Center, disks[j].Center) - the census pipeline
+// satisfies this with a VP-pair distance matrix, valid because every disk
+// of a target is centered at a vantage point. nil means compute live.
+type CenterDist func(i, j int) float64
 
 // disksOf maps measurements to disks.
 func disksOf(ms []Measurement) []geo.Disk {
@@ -137,20 +145,28 @@ func disksOf(ms []Measurement) []geo.Disk {
 	return out
 }
 
-// detectPair finds a disjoint pair of disks, if any.
-func detectPair(disks []geo.Disk) (int, int, bool) {
+// detectPair finds a disjoint pair of disks, if any. The comparisons below
+// spell out Disk.Contains and Disk.Overlaps (same epsilon, same
+// association) so a CenterDist oracle and the live haversine path are
+// interchangeable bit for bit.
+func detectPair(disks []geo.Disk, dist CenterDist) (int, int, bool) {
 	n := len(disks)
 	if n < 2 {
 		return 0, 0, false
+	}
+	centerDist := func(i, j int) float64 {
+		if dist != nil {
+			return dist(i, j)
+		}
+		return geo.DistanceKm(disks[i].Center, disks[j].Center)
 	}
 	// Candidate certificate points: centers of the three smallest disks.
 	// A point contained in every disk certifies pairwise overlap.
 	idx := smallestK(disks, 3)
 	for _, ci := range idx {
-		p := disks[ci].Center
 		ok := true
 		for i := range disks {
-			if !disks[i].Contains(p) {
+			if centerDist(i, ci) > disks[i].RadiusKm+1e-9 { // !Contains
 				ok = false
 				break
 			}
@@ -169,7 +185,7 @@ func detectPair(disks []geo.Disk) (int, int, bool) {
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
 			i, j := order[a], order[b]
-			if !disks[i].Overlaps(disks[j]) {
+			if centerDist(i, j) > disks[i].RadiusKm+disks[j].RadiusKm+1e-9 { // !Overlaps
 				return i, j, true
 			}
 		}
@@ -287,11 +303,21 @@ func Analyze(db *cities.DB, ms []Measurement, opt Options) Result {
 
 // AnalyzeWith is Analyze over any Locator.
 func AnalyzeWith(db Locator, ms []Measurement, opt Options) Result {
+	return AnalyzeWithDist(db, ms, nil, opt)
+}
+
+// AnalyzeWithDist is AnalyzeWith with a CenterDist oracle accelerating the
+// detection scans (the dominant cost for borderline unicast targets, which
+// fail the O(n) certificate and pay the full pairwise scan). The oracle
+// only serves detection over the original measurement disks; the iterative
+// enumeration works on city-collapsed disks whose centers are no longer
+// vantage points.
+func AnalyzeWithDist(db Locator, ms []Measurement, dist CenterDist, opt Options) Result {
 	if len(ms) < 2 {
 		return Result{}
 	}
 	disks := disksOf(ms)
-	if _, _, anycast := detectPair(disks); !anycast {
+	if _, _, anycast := detectPair(disks, dist); !anycast {
 		return Result{}
 	}
 
@@ -345,7 +371,7 @@ func AnalyzeWith(db Locator, ms []Measurement, opt Options) Result {
 	// detection proved two disjoint ones exist; enumeration must still
 	// report at least the proven pair.
 	if len(mis) < 2 {
-		i, j, _ := detectPair(disks)
+		i, j, _ := detectPair(disks, dist)
 		mis = []int{i, j}
 		for _, k := range mis {
 			if !ws[k].collapsed {

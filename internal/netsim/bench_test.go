@@ -1,0 +1,79 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+
+	"anycastmap/internal/cities"
+	"anycastmap/internal/platform"
+)
+
+// The probe-path benchmarks run against one shared mid-size world; building
+// it is far more expensive than any measured operation, so it is built once.
+var (
+	benchOnce    sync.Once
+	benchWorld   *World
+	benchVPs     []platform.VP
+	benchTargets []IP // representative per /24, anycast and unicast interleaved
+)
+
+func benchSetup(b *testing.B) (*World, []platform.VP, []IP) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Unicast24s = 8000
+		benchWorld = New(cfg)
+		benchVPs = platform.PlanetLab(cities.Default()).VPs()
+		benchWorld.Prefixes(func(p Prefix24) {
+			if ip, alive := benchWorld.Representative(p); alive {
+				benchTargets = append(benchTargets, ip)
+			}
+		})
+	})
+	b.ResetTimer()
+	return benchWorld, benchVPs, benchTargets
+}
+
+// BenchmarkProbeICMP measures the census inner loop: one ICMP probe against
+// a mixed anycast/unicast target population, cycling vantage points so the
+// per-VP caches see realistic reuse.
+func BenchmarkProbeICMP(b *testing.B) {
+	w, vps, targets := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.ProbeICMP(vps[i%8], targets[i%len(targets)], uint64(i%4+1))
+	}
+}
+
+// BenchmarkServingReplica measures BGP-like replica selection for anycast
+// deployments (the catchment computation).
+func BenchmarkServingReplica(b *testing.B) {
+	w, vps, _ := benchSetup(b)
+	deps := w.Deployments()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.servingReplica(vps[i%8], deps[i%len(deps)], uint64(i%4+1))
+	}
+}
+
+// BenchmarkPathRTT measures the latency model for a fixed (VP, endpoint)
+// pair across rounds: the propagation/stretch/access part is static, only
+// the queueing jitter varies.
+func BenchmarkPathRTT(b *testing.B) {
+	w, vps, targets := benchSetup(b)
+	d := w.Deployments()[0]
+	r := d.Replicas[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.pathRTT(vps[i%8], uint64(d.Prefix), r.Loc, uint64(r.ID), targets[i%len(targets)], uint64(i%4+1))
+	}
+}
+
+// BenchmarkProbeTCP measures the portscan probe path.
+func BenchmarkProbeTCP(b *testing.B) {
+	w, vps, targets := benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.ProbeTCP(vps[i%8], targets[i%len(targets)], 80, uint64(i%4+1))
+	}
+}

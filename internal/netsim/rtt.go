@@ -71,51 +71,92 @@ func (r Reply) OK() bool { return r.Kind == ReplyEcho }
 // between rounds, so combining censuses by minimum RTT sharpens the
 // estimate toward the propagation delay (Sec. 4.1).
 func (w *World) ProbeICMP(vp platform.VP, target IP, round uint64) Reply {
-	i, ok := w.byPrefix[target.Prefix()]
+	return w.probeICMP(w.session(vp), vp, target, round)
+}
+
+func (w *World) probeICMP(s *vpSession, vp platform.VP, target IP, round uint64) Reply {
+	p := target.Prefix()
+	i, ok := w.byPrefix[p]
 	if !ok {
 		return Reply{Kind: ReplyTimeout}
 	}
-	if w.faults.TargetUnreachable(target.Prefix(), round) {
-		return Reply{Kind: ReplyTimeout}
-	}
-	// Transient loss: a few percent of probes get no answer in any given
-	// census round; repeating the census recovers them (one reason the
-	// combination of censuses has higher recall, Sec. 4.1).
-	if detrand.UnitFloat(w.cfg.Seed, uint64(vp.ID), uint64(target), round, 0xC0FF) < 0.025 {
+	if w.faults.TargetUnreachable(p, round) {
 		return Reply{Kind: ReplyTimeout}
 	}
 	if i >= 0 {
+		// Structural checks first: a dead host times out whatever the
+		// loss draw would have said, so it never pays for one.
 		d := w.deployments[i]
-		if !w.HostAlive(target) {
+		if target != d.rep && detrand.UnitFloat(w.cfg.Seed, uint64(target), 0xA11E) >= d.Density {
 			return Reply{Kind: ReplyTimeout}
 		}
-		r := w.servingReplica(vp, d, round)
-		return Reply{Kind: ReplyEcho, RTT: w.pathRTT(vp, uint64(d.Prefix), r.Loc, uint64(r.ID), target, round)}
+		// Transient loss: a few percent of probes get no answer in any
+		// given census round; repeating the census recovers them (one
+		// reason the combination of censuses has higher recall, Sec. 4.1).
+		if detrand.UnitFloat(w.cfg.Seed, uint64(vp.ID), uint64(target), round, 0xC0FF) < 0.025 {
+			return Reply{Kind: ReplyTimeout}
+		}
+		return Reply{Kind: ReplyEcho, RTT: w.anycastRTT(s, vp, d, target, round)}
 	}
-	h := w.unicast[-(i + 1)]
-	rep, _ := w.Representative(target.Prefix())
-	if rep != target {
+	h := &w.unicast[-(i + 1)]
+	if target != h.rep {
 		// Only the representative host of a unicast /24 is modelled.
 		return Reply{Kind: ReplyTimeout}
 	}
-	loc := w.hijackedLoc(vp, target.Prefix(), h.loc)
-	switch h.class {
-	case classSilent:
+	if h.class == classSilent {
 		return Reply{Kind: ReplyTimeout}
-	case classAdminFiltered:
-		return Reply{Kind: ReplyAdminFiltered, RTT: w.pathRTT(vp, uint64(target.Prefix()), loc, 0, target, round)}
-	case classHostProhibited:
-		return Reply{Kind: ReplyHostProhibited, RTT: w.pathRTT(vp, uint64(target.Prefix()), loc, 0, target, round)}
-	case classNetProhibited:
-		return Reply{Kind: ReplyNetProhibited, RTT: w.pathRTT(vp, uint64(target.Prefix()), loc, 0, target, round)}
 	}
-	return Reply{Kind: ReplyEcho, RTT: w.pathRTT(vp, uint64(target.Prefix()), loc, 0, target, round)}
+	if detrand.UnitFloat(w.cfg.Seed, uint64(vp.ID), uint64(target), round, 0xC0FF) < 0.025 {
+		return Reply{Kind: ReplyTimeout}
+	}
+	rtt := w.unicastRTT(s, vp, -(i + 1), h, target, round)
+	switch h.class {
+	case classAdminFiltered:
+		return Reply{Kind: ReplyAdminFiltered, RTT: rtt}
+	case classHostProhibited:
+		return Reply{Kind: ReplyHostProhibited, RTT: rtt}
+	case classNetProhibited:
+		return Reply{Kind: ReplyNetProhibited, RTT: rtt}
+	}
+	return Reply{Kind: ReplyEcho, RTT: rtt}
+}
+
+// anycastRTT produces the RTT of a successful anycast probe: cached
+// catchment + base when a session is bound, the full computation otherwise.
+func (w *World) anycastRTT(s *vpSession, vp platform.VP, d *Deployment, target IP, round uint64) time.Duration {
+	if s != nil {
+		c := &s.cands[d.idx]
+		return w.rttFromBaseMs(c.baseMs[w.servingRank(c, vp, d, round)], vp, target, round)
+	}
+	r := w.servingReplicaSlow(vp, d, round)
+	return w.pathRTT(vp, uint64(d.Prefix), r.Loc, uint64(r.ID), target, round)
+}
+
+// unicastRTT produces the RTT toward a unicast representative. Hijacked
+// prefixes bypass the cache: their effective endpoint depends on a live
+// per-VP catchment draw (0x41AC), and hijacks are injected after sessions
+// may already be warm.
+func (w *World) unicastRTT(s *vpSession, vp platform.VP, uidx int32, h *unicastHost, target IP, round uint64) time.Duration {
+	p := target.Prefix()
+	if s == nil {
+		return w.pathRTT(vp, uint64(p), w.hijackedLoc(vp, p, h.loc), 0, target, round)
+	}
+	if w.hijacks != nil {
+		if _, hijacked := w.hijacks[p]; hijacked {
+			return w.pathRTT(vp, uint64(p), w.hijackedLoc(vp, p, h.loc), 0, target, round)
+		}
+	}
+	return w.rttFromBaseMs(w.unicastBaseMs(s, vp, uidx, h, p), vp, target, round)
 }
 
 // ProbeTCP attempts a TCP SYN/SYN-ACK handshake to the given port
 // (Sec. 3.4: L4 measurements only succeed when the service is known a
 // priori; Sec. 4.3: the portscan campaign).
 func (w *World) ProbeTCP(vp platform.VP, target IP, port uint16, round uint64) Reply {
+	return w.probeTCP(w.session(vp), vp, target, port, round)
+}
+
+func (w *World) probeTCP(s *vpSession, vp platform.VP, target IP, port uint16, round uint64) Reply {
 	i, ok := w.byPrefix[target.Prefix()]
 	if !ok {
 		return Reply{Kind: ReplyTimeout}
@@ -125,7 +166,7 @@ func (w *World) ProbeTCP(vp platform.VP, target IP, port uint16, round uint64) R
 	}
 	if i >= 0 {
 		d := w.deployments[i]
-		if !w.HostAlive(target) {
+		if target != d.rep && detrand.UnitFloat(w.cfg.Seed, uint64(target), 0xA11E) >= d.Density {
 			return Reply{Kind: ReplyTimeout}
 		}
 		set, has := w.Services.ByASN(d.ASN)
@@ -138,12 +179,14 @@ func (w *World) ProbeTCP(vp platform.VP, target IP, port uint16, round uint64) R
 		if detrand.UnitFloat(w.cfg.Seed, uint64(vp.ID), uint64(target), uint64(port), 0xF11) < 0.02 {
 			return Reply{Kind: ReplyTimeout}
 		}
-		r := w.servingReplica(vp, d, round)
-		return Reply{Kind: ReplyEcho, RTT: w.pathRTT(vp, uint64(d.Prefix), r.Loc, uint64(r.ID), target, round)}
+		return Reply{Kind: ReplyEcho, RTT: w.anycastRTT(s, vp, d, target, round)}
 	}
-	// Unicast hosts run the occasional service.
-	h := w.unicast[-(i + 1)]
-	if rep, _ := w.Representative(target.Prefix()); rep != target || h.class != classResponsive {
+	// Unicast hosts run the occasional service. TCP probes always reach
+	// the host's home location: the injected hijacks model an ICMP-era
+	// attack and never attract transport traffic, so the cached base is
+	// valid here even while a hijack is live.
+	h := &w.unicast[-(i + 1)]
+	if target != h.rep || h.class != classResponsive {
 		return Reply{Kind: ReplyTimeout}
 	}
 	var p float64
@@ -162,26 +205,32 @@ func (w *World) ProbeTCP(vp platform.VP, target IP, port uint16, round uint64) R
 	if detrand.UnitFloat(w.cfg.Seed, uint64(target), uint64(port), 0xF12) >= p {
 		return Reply{Kind: ReplyTimeout}
 	}
+	if s != nil {
+		return Reply{Kind: ReplyEcho, RTT: w.rttFromBaseMs(w.unicastBaseMs(s, vp, -(i+1), h, target.Prefix()), vp, target, round)}
+	}
 	return Reply{Kind: ReplyEcho, RTT: w.pathRTT(vp, uint64(target.Prefix()), h.loc, 0, target, round)}
 }
 
 // ProbeDNSUDP sends a DNS query over UDP (the dig test of Fig. 6): only
 // deployments actually operating a UDP DNS service answer.
 func (w *World) ProbeDNSUDP(vp platform.VP, target IP, round uint64) Reply {
+	return w.probeDNSUDP(w.session(vp), vp, target, round)
+}
+
+func (w *World) probeDNSUDP(s *vpSession, vp platform.VP, target IP, round uint64) Reply {
 	i, ok := w.byPrefix[target.Prefix()]
 	if !ok || i < 0 {
 		return Reply{Kind: ReplyTimeout}
 	}
 	d := w.deployments[i]
-	if !w.HostAlive(target) {
+	if target != d.rep && detrand.UnitFloat(w.cfg.Seed, uint64(target), 0xA11E) >= d.Density {
 		return Reply{Kind: ReplyTimeout}
 	}
 	set, has := w.Services.ByASN(d.ASN)
 	if !has || !set.ServesDNSOverUDP {
 		return Reply{Kind: ReplyTimeout}
 	}
-	r := w.servingReplica(vp, d, round)
-	return Reply{Kind: ReplyEcho, RTT: w.pathRTT(vp, uint64(d.Prefix), r.Loc, uint64(r.ID), target, round)}
+	return Reply{Kind: ReplyEcho, RTT: w.anycastRTT(s, vp, d, target, round)}
 }
 
 // ProbeDNSTCP sends a DNS query over TCP: it needs both an open port 53 and
@@ -219,6 +268,16 @@ func (w *World) ServingReplica(vp platform.VP, p Prefix24, round uint64) (Replic
 // the imperfect anycast affinity documented by the DNS literature the
 // paper builds on.
 func (w *World) servingReplica(vp platform.VP, d *Deployment, round uint64) Replica {
+	if s := w.session(vp); s != nil {
+		c := &s.cands[d.idx]
+		return d.Replicas[c.idx[w.servingRank(c, vp, d, round)]]
+	}
+	return w.servingReplicaSlow(vp, d, round)
+}
+
+// servingReplicaSlow is the uncached reference implementation; the session
+// cache must reproduce its selections bit for bit.
+func (w *World) servingReplicaSlow(vp platform.VP, d *Deployment, round uint64) Replica {
 	n := len(d.Replicas)
 	if n == 1 {
 		return d.Replicas[0]
@@ -263,7 +322,22 @@ func (w *World) servingReplica(vp platform.VP, d *Deployment, round uint64) Repl
 // on: RTT >= PropagationRTT(vp, loc), so a disk built from a measured RTT
 // always contains the answering endpoint.
 func (w *World) pathRTT(vp platform.VP, endpointKey uint64, loc geo.Coord, subKey uint64, target IP, round uint64) time.Duration {
-	distKm := geo.DistanceKm(vp.Loc, loc)
+	base := w.rttBaseMsDist(vp, endpointKey, geo.DistanceKm(vp.Loc, loc), subKey, w.vpAccessMs(vp))
+	return w.rttFromBaseMs(base, vp, target, round)
+}
+
+// vpAccessMs is the vantage point's half of the access-latency term: last
+// mile plus host overhead, stable across every probe the VP sends.
+func (w *World) vpAccessMs(vp platform.VP) float64 {
+	return 0.2 + w.cfg.AccessMs*detrand.UnitFloat(w.cfg.Seed, uint64(vp.ID), 0xB71)
+}
+
+// rttBaseMsDist is the probe-invariant part of the RTT model: propagation
+// along the stretched path plus access latency at both ends. The float
+// expressions are associated exactly as the pre-memoization code wrote
+// them, so a cached base plus live jitter reproduces the original RTT bit
+// for bit.
+func (w *World) rttBaseMsDist(vp platform.VP, endpointKey uint64, distKm float64, subKey uint64, vpAccess float64) float64 {
 	propMs := 2 * distKm / geo.FiberSpeedKmPerMs
 
 	// Path stretch is a stable property of the (vantage, endpoint) pair.
@@ -273,20 +347,21 @@ func (w *World) pathRTT(vp platform.VP, endpointKey uint64, loc geo.Coord, subKe
 	}
 
 	// Access latency: last mile at the VP plus server-side processing.
-	accessMs := 0.2 + w.cfg.AccessMs*detrand.UnitFloat(w.cfg.Seed, uint64(vp.ID), 0xB71) +
-		0.1 + w.cfg.AccessMs*0.5*detrand.UnitFloat(w.cfg.Seed, endpointKey, subKey, 0xB72)
+	accessMs := vpAccess + 0.1 + w.cfg.AccessMs*0.5*detrand.UnitFloat(w.cfg.Seed, endpointKey, subKey, 0xB72)
 
-	// Queueing jitter varies probe to probe (here: round to round), and
-	// grows with the host's load: an oversubscribed
-	// PlanetLab node adds milliseconds of scheduling delay, inflating its
-	// disks by hundreds of km. Minimum-combining across censuses claws
-	// part of this back, which is where the Fig. 12 recall gain of the
-	// combination comes from.
+	return propMs*stretch + accessMs
+}
+
+// rttFromBaseMs adds the only probe-varying term - queueing jitter - to a
+// base latency. Jitter varies probe to probe (here: round to round), and
+// grows with the host's load: an oversubscribed PlanetLab node adds
+// milliseconds of scheduling delay, inflating its disks by hundreds of km.
+// Minimum-combining across censuses claws part of this back, which is
+// where the Fig. 12 recall gain of the combination comes from.
+func (w *World) rttFromBaseMs(baseMs float64, vp platform.VP, target IP, round uint64) time.Duration {
 	jitterMs := w.cfg.JitterMs * (0.3 + 1.2*vp.LoadFactor) *
 		detrand.Exp(w.cfg.Seed, uint64(vp.ID), uint64(target), round, 0xB73)
-
-	ms := propMs*stretch + accessMs + jitterMs
-	return time.Duration(math.Ceil(ms * float64(time.Millisecond)))
+	return time.Duration(math.Ceil((baseMs + jitterMs) * float64(time.Millisecond)))
 }
 
 // SourceDropProb returns the probability that a reply is lost near the

@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"anycastmap/internal/detrand"
+	"anycastmap/internal/geo"
+	"anycastmap/internal/platform"
+)
+
+// This file is the memoization layer under the probe hot path. A census
+// sends millions of probes, but almost everything a probe computes is a
+// stable property of the (vantage point, prefix) pair: the ranked nearest
+// replicas of a deployment, the stable catchment draw (0xB69), the
+// propagation+stretch+access base latency, and the per-VP access constant
+// (0xB71). Only the per-round draws - loss, catchment flap, queueing
+// jitter - actually vary probe to probe. The session caches the stable
+// part per vantage point and leaves the per-round draws in the inner loop.
+//
+// Determinism is the contract: every cached value is the output of the
+// exact detrand/geo expression the uncached code evaluates, so replies are
+// byte-identical with the cache on or off (Config.DisableProbeCache and
+// TestSessionCacheBitIdentical enforce this). That works because detrand
+// draws are pure functions of their key tuple - skipping or reordering
+// draws cannot influence other draws - and because the cached float
+// expressions are reassociated only along bitwise-exact lines.
+
+// sessionKey identifies a vantage point. The ID alone is not enough:
+// PlanetLab and RIPE Atlas assign overlapping ID ranges, so the location
+// disambiguates. LoadFactor is deliberately absent - nothing cached here
+// depends on it (jitter, the only load-dependent term, stays live).
+type sessionKey struct {
+	id       int
+	lat, lon float64
+}
+
+// candSet is the cached catchment of one (vantage point, deployment) pair:
+// the three nearest replicas in rank order and the probe-invariant part of
+// the RTT toward each.
+type candSet struct {
+	baseMs [3]float64 // rttBaseMs toward idx[k]; meaningful where idx[k] >= 0
+	idx    [3]int32   // k-th nearest replica index into d.Replicas, -1 if absent
+	u      float64    // stable base-selection draw (0xB69)
+}
+
+// vpSession holds everything probe-invariant about one vantage point.
+type vpSession struct {
+	once     sync.Once
+	vpAccess float64   // hoisted per-VP access term (0xB71)
+	cands    []candSet // indexed by Deployment.idx
+	// uniBase memoizes the unicast RTT base per unicast index as
+	// math.Float64bits, filled lazily on first probe; 0 means unset (a
+	// real base is always > 0.3 ms). Writes are idempotent - every
+	// writer stores the same bits - so racing probes need only atomicity.
+	uniBase []uint64
+}
+
+// sessionTable maps sessionKey -> *vpSession. It lives behind a pointer on
+// World so WithFaults views share one table: fault plans never change RTT
+// draws, only whether a reply arrives.
+type sessionTable struct {
+	m sync.Map
+}
+
+// session returns the vantage point's memoized session, building it on
+// first use, or nil when the cache is disabled (callers then take the
+// uncached code path, which is the behavioral reference).
+func (w *World) session(vp platform.VP) *vpSession {
+	if w.sessions == nil || w.cfg.DisableProbeCache {
+		return nil
+	}
+	key := sessionKey{id: vp.ID, lat: vp.Loc.Lat, lon: vp.Loc.Lon}
+	v, ok := w.sessions.m.Load(key)
+	if !ok {
+		v, _ = w.sessions.m.LoadOrStore(key, new(vpSession))
+	}
+	s := v.(*vpSession)
+	s.once.Do(func() { w.buildSession(s, vp) })
+	return s
+}
+
+// buildSession ranks every deployment's replicas by distance from the
+// vantage point and caches the RTT bases. Replica locations are drawn per
+// (AS, replica ID) and shared across all /24s of the AS, so distances are
+// deduplicated at the AS level: one haversine per (VP, AS replica) instead
+// of one per (VP, prefix replica) - a 4-5x reduction in trigonometry.
+func (w *World) buildSession(s *vpSession, vp platform.VP) {
+	s.vpAccess = w.vpAccessMs(vp)
+	s.cands = make([]candSet, len(w.deployments))
+	s.uniBase = make([]uint64, len(w.unicast))
+
+	asDist := make(map[int][]float64, len(w.anycastByASN))
+	for di, d := range w.deployments {
+		dists := asDist[d.ASN]
+		for _, r := range d.Replicas {
+			for r.ID >= len(dists) {
+				dists = append(dists, -1)
+			}
+			if dists[r.ID] < 0 {
+				dists[r.ID] = geo.DistanceKm(vp.Loc, r.Loc)
+			}
+		}
+		asDist[d.ASN] = dists
+
+		// The same strict-< cascade servingReplicaSlow runs, over the
+		// same DistanceKm outputs, so the ranking is bit-identical.
+		type cand struct {
+			idx  int32
+			dist float64
+		}
+		best := [3]cand{{-1, math.MaxFloat64}, {-1, math.MaxFloat64}, {-1, math.MaxFloat64}}
+		for i := range d.Replicas {
+			dist := dists[d.Replicas[i].ID]
+			switch {
+			case dist < best[0].dist:
+				best[2], best[1], best[0] = best[1], best[0], cand{int32(i), dist}
+			case dist < best[1].dist:
+				best[2], best[1] = best[1], cand{int32(i), dist}
+			case dist < best[2].dist:
+				best[2] = cand{int32(i), dist}
+			}
+		}
+
+		c := &s.cands[di]
+		c.u = detrand.UnitFloat(w.cfg.Seed, uint64(vp.ID), uint64(d.Prefix), 0xB69)
+		for k := 0; k < 3; k++ {
+			c.idx[k] = best[k].idx
+			if best[k].idx >= 0 {
+				r := d.Replicas[best[k].idx]
+				c.baseMs[k] = w.rttBaseMsDist(vp, uint64(d.Prefix), best[k].dist, uint64(r.ID), s.vpAccess)
+			}
+		}
+	}
+}
+
+// servingRank picks which cached candidate answers this round. It mirrors
+// the selection thresholds of servingReplicaSlow exactly; only the ranking
+// and the stable 0xB69 draw come from the cache.
+func (w *World) servingRank(c *candSet, vp platform.VP, d *Deployment, round uint64) int {
+	if c.idx[1] < 0 {
+		return 0 // single-replica deployment: no draws, like the slow path
+	}
+	u := c.u
+	if detrand.UnitFloat(w.cfg.Seed, uint64(vp.ID), uint64(d.Prefix), round, 0xF1A9) < 0.12 {
+		// Catchment flap: this round routes to a different candidate.
+		u = detrand.UnitFloat(w.cfg.Seed, uint64(vp.ID), uint64(d.Prefix), round, 0xB6A)
+	}
+	switch {
+	case u < 0.70:
+		return 0
+	case u < 0.90 || c.idx[2] < 0:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// unicastBaseMs returns the memoized RTT base toward the unicast host's
+// home location, computing and publishing it on first use.
+func (w *World) unicastBaseMs(s *vpSession, vp platform.VP, uidx int32, h *unicastHost, p Prefix24) float64 {
+	if bits := atomic.LoadUint64(&s.uniBase[uidx]); bits != 0 {
+		return math.Float64frombits(bits)
+	}
+	base := w.rttBaseMsDist(vp, uint64(p), geo.DistanceKm(vp.Loc, h.loc), 0, s.vpAccess)
+	atomic.StoreUint64(&s.uniBase[uidx], math.Float64bits(base))
+	return base
+}
+
+// Probe is a vantage-point-bound probing handle: it resolves the VP's
+// session once so per-probe work skips the session lookup entirely. The
+// prober's inner loop uses it; the World.Probe* methods remain for callers
+// probing ad hoc.
+type Probe struct {
+	w  *World
+	vp platform.VP
+	s  *vpSession
+}
+
+// ProbeSession binds a vantage point to the world for repeated probing.
+func (w *World) ProbeSession(vp platform.VP) Probe {
+	return Probe{w: w, vp: vp, s: w.session(vp)}
+}
+
+// ICMP is ProbeICMP through the bound session.
+func (p Probe) ICMP(target IP, round uint64) Reply {
+	return p.w.probeICMP(p.s, p.vp, target, round)
+}
+
+// TCP is ProbeTCP through the bound session.
+func (p Probe) TCP(target IP, port uint16, round uint64) Reply {
+	return p.w.probeTCP(p.s, p.vp, target, port, round)
+}
+
+// DNSUDP is ProbeDNSUDP through the bound session.
+func (p Probe) DNSUDP(target IP, round uint64) Reply {
+	return p.w.probeDNSUDP(p.s, p.vp, target, round)
+}

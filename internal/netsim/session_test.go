@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"testing"
+
+	"anycastmap/internal/cities"
+	"anycastmap/internal/geo"
+	"anycastmap/internal/platform"
+)
+
+// sessionTestWorlds builds two identically-configured small worlds, one
+// with the probe cache and one forced down the uncached reference path.
+func sessionTestWorlds(t testing.TB) (cached, uncached *World) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Unicast24s = 600
+	cached = New(cfg)
+	cfg.DisableProbeCache = true
+	uncached = New(cfg)
+	return cached, uncached
+}
+
+// sessionTestVPs mixes PlanetLab and RIPE vantage points: the two
+// platforms assign overlapping ID ranges, so this doubles as a check that
+// the session key keeps their caches apart.
+func sessionTestVPs() []platform.VP {
+	pl := platform.PlanetLab(cities.Default()).VPs()
+	ripe := platform.RIPEAtlas(cities.Default()).VPs()
+	vps := append([]platform.VP{}, pl[:6]...)
+	return append(vps, ripe[:6]...)
+}
+
+// TestSessionCacheBitIdentical is the tentpole's contract: every probe
+// reply - kind and RTT, anycast and unicast, ICMP, TCP and DNS - is
+// bit-identical with the memoization on or off.
+func TestSessionCacheBitIdentical(t *testing.T) {
+	cached, uncached := sessionTestWorlds(t)
+	vps := sessionTestVPs()
+
+	var targets []IP
+	cached.Prefixes(func(p Prefix24) {
+		if ip, _ := cached.Representative(p); ip != 0 {
+			targets = append(targets, ip)
+		}
+	})
+	if len(targets) < 2000 {
+		t.Fatalf("expected >2000 targets, got %d", len(targets))
+	}
+
+	for _, vp := range vps {
+		probe := cached.ProbeSession(vp)
+		for ti, target := range targets {
+			for round := uint64(1); round <= 3; round++ {
+				got, want := probe.ICMP(target, round), uncached.ProbeICMP(vp, target, round)
+				if got != want {
+					t.Fatalf("ICMP vp=%s target=%v round=%d: cached %+v, uncached %+v", vp.Name, target, round, got, want)
+				}
+				// TCP and DNS are cheaper to spot-check on a slice.
+				if ti%7 == 0 {
+					got, want = probe.TCP(target, 80, round), uncached.ProbeTCP(vp, target, 80, round)
+					if got != want {
+						t.Fatalf("TCP vp=%s target=%v round=%d: cached %+v, uncached %+v", vp.Name, target, round, got, want)
+					}
+					got, want = probe.DNSUDP(target, round), uncached.ProbeDNSUDP(vp, target, round)
+					if got != want {
+						t.Fatalf("DNS vp=%s target=%v round=%d: cached %+v, uncached %+v", vp.Name, target, round, got, want)
+					}
+				}
+			}
+		}
+	}
+
+	// Replica selection (the CHAOS/ground-truth path) agrees too.
+	for _, vp := range vps[:4] {
+		for _, d := range cached.Deployments() {
+			for round := uint64(1); round <= 3; round++ {
+				got, _ := cached.ServingReplica(vp, d.Prefix, round)
+				want, _ := uncached.ServingReplica(vp, d.Prefix, round)
+				if got.ID != want.ID || got.Loc != want.Loc {
+					t.Fatalf("ServingReplica vp=%s prefix=%v round=%d: cached %v, uncached %v", vp.Name, d.Prefix, round, got.ID, want.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionCacheHijackBypass verifies the cache interplay with injected
+// hijacks: hijacked prefixes take the live path (the hijack shows up even
+// in a pre-warmed session), and clearing the hijack restores the original
+// cached behavior.
+func TestSessionCacheHijackBypass(t *testing.T) {
+	cached, uncached := sessionTestWorlds(t)
+	vps := sessionTestVPs()
+
+	// Find a responsive unicast prefix.
+	var prefix Prefix24
+	var target IP
+	cached.Prefixes(func(p Prefix24) {
+		if prefix != 0 {
+			return
+		}
+		if cached.IsAnycast(p) {
+			return
+		}
+		ip, alive := cached.Representative(p)
+		if alive && cached.ProbeICMP(vps[0], ip, 1).OK() { // warms the session pre-hijack
+			prefix, target = p, ip
+		}
+	})
+	if prefix == 0 {
+		t.Fatal("no responsive unicast prefix found")
+	}
+
+	hijacker := geo.Coord{Lat: -33.9, Lon: 151.2} // far from most hosts
+	for _, w := range []*World{cached, uncached} {
+		if err := w.InjectHijack(prefix, hijacker, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, vp := range vps {
+		for round := uint64(1); round <= 3; round++ {
+			got, want := cached.ProbeICMP(vp, target, round), uncached.ProbeICMP(vp, target, round)
+			if got != want {
+				t.Fatalf("hijacked ICMP vp=%s round=%d: cached %+v, uncached %+v", vp.Name, round, got, want)
+			}
+		}
+	}
+
+	cached.ClearHijack(prefix)
+	uncached.ClearHijack(prefix)
+	for _, vp := range vps {
+		got, want := cached.ProbeICMP(vp, target, 2), uncached.ProbeICMP(vp, target, 2)
+		if got != want {
+			t.Fatalf("post-clear ICMP vp=%s: cached %+v, uncached %+v", vp.Name, got, want)
+		}
+	}
+}
+
+// TestSessionSharedAcrossFaultViews checks that WithFaults views reuse the
+// receiver's session table rather than rebuilding caches per view.
+func TestSessionSharedAcrossFaultViews(t *testing.T) {
+	cached, _ := sessionTestWorlds(t)
+	vp := sessionTestVPs()[0]
+	cached.ProbeSession(vp) // warm
+	view := cached.WithFaults(nil)
+	if view.sessions != cached.sessions {
+		t.Fatal("WithFaults view does not share the session table")
+	}
+	if _, ok := view.sessions.m.Load(sessionKey{id: vp.ID, lat: vp.Loc.Lat, lon: vp.Loc.Lon}); !ok {
+		t.Fatal("warmed session not visible through the fault view")
+	}
+}

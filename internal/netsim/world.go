@@ -70,6 +70,13 @@ type Config struct {
 	// processing) and JitterMs the per-probe queueing noise.
 	AccessMs float64
 	JitterMs float64
+
+	// DisableProbeCache turns off the per-VP session memoization of
+	// catchments and RTT bases, forcing every probe down the uncached
+	// reference path. Replies are identical either way (the determinism
+	// tests compare the two); the switch exists for those tests and for
+	// memory-constrained callers.
+	DisableProbeCache bool
 }
 
 // DefaultConfig returns the configuration used throughout the benchmarks.
@@ -110,6 +117,12 @@ type Deployment struct {
 	// public data (DNS resolution of the Alexa list), so the analysis
 	// pipeline may read it.
 	HostsAlexa bool
+
+	// idx is this deployment's position in World.deployments (and in the
+	// per-VP session caches); rep is the precomputed hitlist
+	// representative. Both are set by New.
+	idx int32
+	rep IP
 }
 
 func (d *Deployment) String() string {
@@ -141,11 +154,15 @@ const (
 	classNetProhibited  // code 9
 )
 
-// unicastHost is the representative host of a unicast /24.
+// unicastHost is the representative host of a unicast /24. rep and
+// everAlive are precomputed at build time so the probe hot path never
+// re-derives them.
 type unicastHost struct {
-	loc     geo.Coord
-	cityIdx int32
-	class   hostClass
+	loc       geo.Coord
+	rep       IP
+	cityIdx   int32
+	class     hostClass
+	everAlive bool
 }
 
 // World is the synthetic Internet.
@@ -173,6 +190,10 @@ type World struct {
 	// faults is the installed failure schedule; nil means a perfectly
 	// healthy substrate. See InstallFaults and WithFaults.
 	faults *FaultPlan
+
+	// sessions caches per-VP probe-invariant state (see session.go). It
+	// sits behind a pointer so WithFaults views share one table.
+	sessions *sessionTable
 }
 
 // hijack describes one injected prefix hijack.
@@ -225,6 +246,7 @@ func New(cfg Config) *World {
 		Cities:       cities.Default(),
 		byPrefix:     make(map[Prefix24]int32),
 		anycastByASN: make(map[int][]*Deployment),
+		sessions:     &sessionTable{},
 	}
 	w.Services = services.Build(w.Registry, cfg.Seed)
 	w.buildPool()
@@ -270,6 +292,9 @@ func New(cfg Config) *World {
 				Replicas:   replicas,
 				Density:    w.density(as, prefix),
 				HostsAlexa: p < as.AlexaIP24s,
+				idx:        int32(len(w.deployments)),
+				// Anycast infrastructure: a low, alive host address.
+				rep: prefix.Host(byte(1 + detrand.Intn(32, cfg.Seed, uint64(prefix), 0x4E01))),
 			}
 			w.byPrefix[prefix] = int32(len(w.deployments))
 			w.deployments = append(w.deployments, d)
@@ -372,28 +397,26 @@ func (w *World) Representative(p Prefix24) (IP, bool) {
 		return 0, false
 	}
 	if i >= 0 {
-		// Anycast infrastructure: pick a low, alive host address.
-		return p.Host(byte(1 + detrand.Intn(32, w.cfg.Seed, uint64(p), 0x4E01))), true
+		return w.deployments[i].rep, true
 	}
-	h := w.unicast[-(i + 1)]
-	// A silent host may still have been seen alive by past hitlist
-	// campaigns; about a third were (this makes the score-pruned hitlist
-	// ~62% of the full space, matching the paper's 6.6M of 10.6M).
-	alive := h.class != classSilent ||
-		detrand.UnitFloat(w.cfg.Seed, uint64(p), 0x4E03) < 1.0/3
-	return p.Host(byte(1 + detrand.Intn(253, w.cfg.Seed, uint64(p), 0x4E02))), alive
+	h := &w.unicast[-(i + 1)]
+	return h.rep, h.everAlive
 }
 
 // HostAlive reports whether a specific /32 inside an anycast /24 answers
 // probes, according to the deployment density (used by the Sec. 3.1
 // spot-check that any alive IP of a /24 is equivalent).
 func (w *World) HostAlive(ip IP) bool {
-	d, ok := w.Deployment(ip.Prefix())
+	i, ok := w.byPrefix[ip.Prefix()]
 	if !ok {
-		rep, alive := w.Representative(ip.Prefix())
-		return alive && rep == ip
+		return false
 	}
-	if rep, _ := w.Representative(ip.Prefix()); rep == ip {
+	if i < 0 {
+		h := &w.unicast[-(i + 1)]
+		return h.everAlive && h.rep == ip
+	}
+	d := w.deployments[i]
+	if ip == d.rep {
 		return true // the hitlist representative is alive by construction
 	}
 	return detrand.UnitFloat(w.cfg.Seed, uint64(ip), 0xA11E) < d.Density
@@ -560,7 +583,18 @@ func (w *World) buildUnicastHost(p Prefix24) unicastHost {
 	default:
 		class = classSilent
 	}
-	return unicastHost{loc: loc, cityIdx: int32(idx), class: class}
+	// A silent host may still have been seen alive by past hitlist
+	// campaigns; about a third were (this makes the score-pruned hitlist
+	// ~62% of the full space, matching the paper's 6.6M of 10.6M).
+	everAlive := class != classSilent ||
+		detrand.UnitFloat(w.cfg.Seed, uint64(p), 0x4E03) < 1.0/3
+	return unicastHost{
+		loc:       loc,
+		rep:       p.Host(byte(1 + detrand.Intn(253, w.cfg.Seed, uint64(p), 0x4E02))),
+		cityIdx:   int32(idx),
+		class:     class,
+		everAlive: everAlive,
+	}
 }
 
 // pinnedFootprints fixes the replica cities of deployments whose geography

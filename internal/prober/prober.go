@@ -10,7 +10,9 @@ package prober
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anycastmap/internal/detrand"
@@ -26,6 +28,9 @@ import (
 type Greylist struct {
 	mu sync.RWMutex
 	m  map[netsim.IP]netsim.ReplyKind
+	// frozen caches the immutable read view handed to probing runs;
+	// mutations invalidate it. See Freeze.
+	frozen atomic.Pointer[FrozenGreylist]
 }
 
 // NewGreylist returns an empty greylist.
@@ -37,7 +42,67 @@ func NewGreylist() *Greylist {
 func (g *Greylist) Add(ip netsim.IP, kind netsim.ReplyKind) {
 	g.mu.Lock()
 	g.m[ip] = kind
+	g.frozen.Store(nil)
 	g.mu.Unlock()
+}
+
+// FrozenGreylist is an immutable, lock-free membership view of a greylist
+// at a point in time: a sorted address slice checked by binary search. A
+// census run snapshots the blacklist once and then does per-probe lookups
+// without touching the RWMutex - the mutable greylist keeps taking writes
+// (for the NEXT census) in the meantime.
+type FrozenGreylist struct {
+	ips []netsim.IP
+}
+
+// Freeze snapshots the greylist. The view is cached until the next
+// mutation, so concurrent runs freezing the same blacklist share one
+// snapshot. A nil greylist freezes to an empty view.
+func (g *Greylist) Freeze() *FrozenGreylist {
+	if g == nil {
+		return nil
+	}
+	if f := g.frozen.Load(); f != nil {
+		return f
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f := g.frozen.Load(); f != nil {
+		return f
+	}
+	f := &FrozenGreylist{ips: make([]netsim.IP, 0, len(g.m))}
+	for ip := range g.m {
+		f.ips = append(f.ips, ip)
+	}
+	sort.Slice(f.ips, func(a, b int) bool { return f.ips[a] < f.ips[b] })
+	g.frozen.Store(f)
+	return f
+}
+
+// Contains reports membership without locking or allocating. It is safe on
+// a nil view (reports false).
+func (f *FrozenGreylist) Contains(ip netsim.IP) bool {
+	if f == nil {
+		return false
+	}
+	lo, hi := 0, len(f.ips)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.ips[mid] < ip {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(f.ips) && f.ips[lo] == ip
+}
+
+// Len returns the number of addresses in the view.
+func (f *FrozenGreylist) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.ips)
 }
 
 // Contains reports whether the host is greylisted.
@@ -64,6 +129,7 @@ func (g *Greylist) Merge(other *Greylist) {
 	for ip, k := range other.m {
 		g.m[ip] = k
 	}
+	g.frozen.Store(nil)
 }
 
 // Breakdown counts entries by ICMP error kind (Sec. 3.3 reports 98.5%
@@ -178,6 +244,13 @@ func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, c
 	faults := w.Faults()
 	crashAt, crashes := faults.CrashIndex(vp.ID, cfg.Round, cfg.Attempt, n)
 
+	// The inner loop is mutex- and allocation-free per probe: the greylist
+	// is frozen to a lock-free view up front, the VP's catchment/RTT-basis
+	// session is bound once, and greylist discoveries go into the
+	// goroutine-local `found` map directly.
+	frozenSkip := skip.Freeze()
+	probe := w.ProbeSession(vp)
+
 	for i := uint64(0); ; i++ {
 		idx, ok := perm.Next()
 		if !ok {
@@ -192,7 +265,7 @@ func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, c
 			}
 		}
 		target := targets[idx]
-		if skip != nil && skip.Contains(target) {
+		if frozenSkip.Contains(target) {
 			continue
 		}
 		stats.Sent++
@@ -224,7 +297,7 @@ func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, c
 			}
 			reply = wireReply
 		} else {
-			reply = w.ProbeICMP(vp, target, cfg.Round)
+			reply = probe.ICMP(target, cfg.Round)
 		}
 
 		// Replies aggregate near the vantage point: at excessive rates a
@@ -241,7 +314,9 @@ func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, c
 			stats.Echo++
 		case reply.Kind.Greylistable():
 			stats.Errors++
-			found.Add(target, reply.Kind)
+			// found is local to this run until returned; writing the map
+			// directly keeps the loop free of lock acquisitions.
+			found.m[target] = reply.Kind
 		default:
 			stats.Timeouts++
 			continue // timeouts are not recorded
