@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify clean bench bench-smoke bench-json profile
+.PHONY: all build vet test race verify clean bench bench-smoke bench-json stream-smoke profile
 
 all: verify
 
@@ -34,7 +34,16 @@ bench-smoke:
 
 # bench-json regenerates the committed benchmark trajectory point.
 bench-json:
-	$(GO) run ./cmd/benchreport -exp none -benchjson BENCH_3.json
+	$(GO) run ./cmd/benchreport -exp none -benchjson BENCH_4.json
+
+# stream-smoke proves the streaming data path's memory bound: a 150k-/24
+# campaign (above netsim.DefaultUniBaseCacheCap, so the per-VP unicast
+# RTT memo is off) must complete under a GOMEMLIMIT set below the
+# ~380 MiB that holding all four rounds densely would cost. A regression
+# that reintroduces O(rounds) or O(unicast) residency thrashes the GC
+# or dies here instead of shipping.
+stream-smoke:
+	GOMEMLIMIT=360MiB $(GO) run ./cmd/census -unicast24s 150000
 
 # profile captures CPU and heap profiles of a full census run; inspect
 # with `go tool pprof cpu.pprof`.

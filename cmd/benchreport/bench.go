@@ -1,14 +1,26 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
+	"anycastmap/internal/analysis"
+	"anycastmap/internal/bgp"
+	"anycastmap/internal/census"
+	"anycastmap/internal/cities"
+	"anycastmap/internal/core"
 	"anycastmap/internal/experiments"
+	"anycastmap/internal/hitlist"
 	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
 	"anycastmap/internal/prober"
 	"anycastmap/internal/record"
 	"anycastmap/internal/store"
@@ -36,7 +48,59 @@ type benchMetrics struct {
 	// probing run (the acceptance bound is zero: the constant per-run
 	// setup amortizes to ~0 over thousands of probes).
 	AllocsPerProbe float64 `json:"allocs_per_probe"`
-	Note           string  `json:"note,omitempty"`
+	// PeakHeapBytes is the high-water live heap (HeapAlloc, sampled every
+	// few ms) across the lab build whose wall-clock CampaignWallclockS
+	// reports.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
+	// GCCycles is the number of garbage collections that build triggered.
+	GCCycles uint32 `json:"gc_cycles,omitempty"`
+	Note     string `json:"note,omitempty"`
+}
+
+// streamBench is the streaming-scale headline: one campaign far beyond the
+// batch path's reach, completing with a peak heap bounded below the memory
+// that holding every round's dense matrix simultaneously would need.
+type streamBench struct {
+	Unicast24s  int   `json:"unicast24s"`
+	Censuses    int   `json:"censuses"`
+	VPsPerRound []int `json:"vps_per_round"`
+	Targets     int   `json:"targets"`
+	// WallclockS covers the whole Fig. 1 workflow: world build, blacklist
+	// census, streaming rounds, fold, analysis, attribution.
+	WallclockS    float64 `json:"wallclock_s"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	GCCycles      uint32  `json:"gc_cycles"`
+	// DenseAllRoundsBytes is what the pre-streaming data path would hold
+	// alive at its peak just for the round matrices: sum over rounds of
+	// VPs x targets x 4 bytes. PeakHeapBounded asserts the whole streaming
+	// campaign (world and analysis included) stayed below even that.
+	DenseAllRoundsBytes uint64 `json:"dense_all_rounds_bytes"`
+	// MemoryLimitBytes is the runtime memory limit (GOMEMLIMIT) the rounds
+	// ran under: 90% of DenseAllRoundsBytes.
+	MemoryLimitBytes uint64 `json:"gomemlimit_bytes"`
+	PeakHeapBounded  bool   `json:"peak_heap_bounded"`
+	Anycast24s       int    `json:"anycast_24s"`
+}
+
+// codecBench compares the v2 columnar run format against the legacy
+// gob+flate encoding on a real census round.
+type codecBench struct {
+	VPs     int `json:"vps"`
+	Targets int `json:"targets"`
+	// Samples is the number of non-empty matrix cells; bytes-per-sample
+	// divides the encoded size by it.
+	Samples             int     `json:"samples"`
+	V2EncodeNs          float64 `json:"v2_encode_ns"`
+	V2DecodeNs          float64 `json:"v2_decode_ns"`
+	V2Bytes             int     `json:"v2_bytes"`
+	V2BytesPerSample    float64 `json:"v2_bytes_per_sample"`
+	GobEncodeNs         float64 `json:"gob_flate_encode_ns"`
+	GobDecodeNs         float64 `json:"gob_flate_decode_ns"`
+	GobBytes            int     `json:"gob_flate_bytes"`
+	GobBytesPerSample   float64 `json:"gob_flate_bytes_per_sample"`
+	SpeedupEncode       float64 `json:"speedup_encode"`
+	SpeedupDecode       float64 `json:"speedup_decode"`
+	SpeedupEncodeDecode float64 `json:"speedup_encode_decode"`
 }
 
 type benchReport struct {
@@ -54,28 +118,48 @@ type benchReport struct {
 	Baseline benchMetrics `json:"baseline"`
 	Current  benchMetrics `json:"current"`
 	// SpeedupFullCampaign is baseline/current for the FullCampaign time —
-	// the headline number the probe-path memoization is judged by.
+	// the regression gate: the streaming data path must not slow the
+	// campaign down.
 	SpeedupFullCampaign float64 `json:"speedup_full_campaign"`
+
+	// Stream is the bounded-memory campaign at streaming scale (absent
+	// when disabled with -stream-unicast24s=0).
+	Stream *streamBench `json:"stream_campaign,omitempty"`
+	// Codec compares v2 columnar run persistence against legacy gob+flate.
+	Codec *codecBench `json:"run_codec,omitempty"`
 }
 
-// seedBaseline holds the pre-memoization numbers, measured with
-// `go test -bench` at commit f5729cc on the machine that produced the
-// committed BENCH_3.json. It seeds the baseline the first time the file is
-// written; after that the file's own baseline is preserved across re-runs.
+// seedBaseline holds the pre-streaming numbers: the BENCH_3 "current"
+// column, measured by cmd/benchreport -benchjson at commit 3751575 on the
+// machine that produced the committed BENCH_3.json. It seeds the baseline
+// the first time the file is written; after that the file's own baseline is
+// preserved across re-runs.
 var seedBaseline = benchMetrics{
-	FullCampaignNs: 6_723_486_527,
-	ProbesPerS:     2.20e6,  // BenchmarkProberRun: 3020925 ns/op at 6638 probes/op
-	AllocsPerProbe: 0.00075, // 5 allocs per run of 6638 probes (mutex-bound, not alloc-bound)
-	Note: "pre-change go test -bench at commit f5729cc; the serving path " +
-		"(lookups/s) is untouched by the memoization work",
+	FullCampaignNs: 1_871_134_144,
+	ProbesPerS:     8.66e6,
+	LookupsPerS:    2.90e7,
+	AllocsPerProbe: 0.00036,
+	Note: "pre-change cmd/benchreport -benchjson at commit 3751575 " +
+		"(BENCH_3 current): memoized probe path, batch combine, gob+flate runs",
+}
+
+// benchName derives the trajectory-point name from the output filename:
+// -benchjson BENCH_4.json labels the report BENCH_4.
+func benchName(path string) string {
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	if name == "" {
+		return "BENCH"
+	}
+	return strings.ToUpper(name)
 }
 
 // writeBenchJSON measures the current benchmark trajectory point and writes
-// it next to the baseline. lab and labElapsed come from the experiment run
-// the caller already paid for.
-func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration) error {
+// it next to the baseline. lab, labElapsed and labHeap come from the
+// experiment run the caller already paid for; streamUnicast sizes the
+// bounded-memory streaming headline (0 skips it).
+func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration, labPeakHeap uint64, labGC uint32, streamUnicast int) error {
 	rep := benchReport{
-		Bench:      "BENCH_3",
+		Bench:      benchName(path),
 		Go:         runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -100,6 +184,8 @@ func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration)
 	fmt.Printf("%.2fs\n", rep.Current.FullCampaignNs/1e9)
 
 	rep.Current.CampaignWallclockS = labElapsed.Seconds()
+	rep.Current.PeakHeapBytes = labPeakHeap
+	rep.Current.GCCycles = labGC
 
 	fmt.Printf("bench: probing loop ... ")
 	rep.Current.ProbesPerS, rep.Current.AllocsPerProbe = measureProbing(lab)
@@ -112,6 +198,25 @@ func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration)
 	if rep.Current.FullCampaignNs > 0 {
 		rep.SpeedupFullCampaign = rep.Baseline.FullCampaignNs / rep.Current.FullCampaignNs
 	}
+
+	fmt.Printf("bench: run codec (v2 vs gob+flate) ... ")
+	rep.Codec = measureCodec(lab)
+	if rep.Codec != nil {
+		fmt.Printf("%.2f vs %.2f B/sample, %.1fx encode, %.1fx decode\n",
+			rep.Codec.V2BytesPerSample, rep.Codec.GobBytesPerSample,
+			rep.Codec.SpeedupEncode, rep.Codec.SpeedupDecode)
+	} else {
+		fmt.Printf("skipped (no retained runs)\n")
+	}
+
+	if streamUnicast > 0 {
+		fmt.Printf("bench: streaming campaign at %d unicast /24s ... ", streamUnicast)
+		rep.Stream = measureStreamCampaign(streamUnicast, lab.Config.Seed)
+		fmt.Printf("%.1fs, peak heap %.0f MiB (dense all-rounds %.0f MiB, bounded=%v)\n",
+			rep.Stream.WallclockS, float64(rep.Stream.PeakHeapBytes)/(1<<20),
+			float64(rep.Stream.DenseAllRoundsBytes)/(1<<20), rep.Stream.PeakHeapBounded)
+	}
+
 	rep.Current.Note = "measured live by cmd/benchreport -benchjson"
 
 	out, err := json.MarshalIndent(rep, "", "  ")
@@ -200,4 +305,186 @@ func measureLookups(lab *experiments.Lab) float64 {
 		return 0
 	}
 	return n / elapsed.Seconds()
+}
+
+// heapSampler tracks the high-water live heap while a measurement runs: a
+// background goroutine polls runtime.ReadMemStats every few milliseconds,
+// so the reported peak covers transient states (one round folding while the
+// previous one is not yet collected), not just the quiescent end state.
+type heapSampler struct {
+	stop    chan struct{}
+	done    chan struct{}
+	peak    uint64
+	startGC uint32
+}
+
+func startHeapSampler() *heapSampler {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := &heapSampler{
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		peak:    ms.HeapAlloc,
+		startGC: ms.NumGC,
+	}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > s.peak {
+					s.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// Stop ends sampling and returns the peak live heap and the number of GC
+// cycles since the sampler started.
+func (s *heapSampler) Stop() (peakHeap uint64, gcCycles uint32) {
+	close(s.stop)
+	<-s.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > s.peak {
+		s.peak = ms.HeapAlloc
+	}
+	return s.peak, ms.NumGC - s.startGC
+}
+
+// measureStreamCampaign runs the full Fig. 1 workflow at streaming scale —
+// world, blacklist census, rounds folding through a census.Campaign with
+// every round's matrix released after its fold — and checks the sampled
+// peak heap against the footprint the batch path would need just to keep
+// every round's matrix alive. Once that bound is known (after the target
+// list is pruned, before the first round), the campaign runs under a
+// runtime memory limit of 90% of it: the GC is forced to keep transient
+// garbage inside the budget, the way a production deployment would run
+// under GOMEMLIMIT.
+func measureStreamCampaign(unicast int, seed uint64) *streamBench {
+	lcfg := experiments.DefaultLabConfig()
+	vpsPerRound := lcfg.VPsPerCensus[:lcfg.Censuses]
+
+	runtime.GC()
+	sampler := startHeapSampler()
+	start := time.Now()
+
+	wcfg := netsim.DefaultConfig()
+	wcfg.Seed = seed
+	wcfg.Unicast24s = unicast
+	world := netsim.New(wcfg)
+	db := cities.Default()
+	pl := platform.PlanetLab(db)
+	table := bgp.FromWorld(world)
+	full := hitlist.FromWorld(world)
+	black, err := prober.BuildBlacklist(world, pl.VPs()[0], full.Targets(), prober.Config{Seed: seed})
+	if err != nil {
+		sampler.Stop()
+		return nil
+	}
+	targets := full.PruneNeverAlive().Without(black.Targets())
+
+	var dense uint64
+	for _, v := range vpsPerRound {
+		dense += uint64(v) * uint64(targets.Len()) * 4
+	}
+	limit := int64(dense - dense/10)
+	if limit < 192<<20 {
+		limit = 192 << 20
+	}
+	prevLimit := debug.SetMemoryLimit(limit)
+	defer debug.SetMemoryLimit(prevLimit)
+
+	cp := census.NewCampaign(census.CampaignConfig{Census: census.Config{Seed: seed}})
+	for round := uint64(1); round <= uint64(lcfg.Censuses); round++ {
+		vps := pl.Sample(vpsPerRound[round-1], seed+round)
+		if _, err := cp.ExecuteRound(context.Background(), world, vps, targets, black, round); err != nil {
+			sampler.Stop()
+			return nil
+		}
+		// The folded round is garbage now; collect it before the next
+		// round allocates its matrix, as a GOMEMLIMIT-governed deployment
+		// effectively does.
+		runtime.GC()
+	}
+	outcomes := census.AnalyzeAll(db, cp.Combined(), core.Options{}, 2, 0)
+	findings := analysis.Attribute(outcomes, table)
+
+	elapsed := time.Since(start)
+	peak, gcs := sampler.Stop()
+	return &streamBench{
+		Unicast24s:          unicast,
+		Censuses:            lcfg.Censuses,
+		VPsPerRound:         vpsPerRound,
+		Targets:             targets.Len(),
+		WallclockS:          elapsed.Seconds(),
+		PeakHeapBytes:       peak,
+		GCCycles:            gcs,
+		DenseAllRoundsBytes: dense,
+		MemoryLimitBytes:    uint64(limit),
+		PeakHeapBounded:     peak < dense,
+		Anycast24s:          len(findings),
+	}
+}
+
+// measureCodec times v2 columnar and legacy gob+flate save/load of the
+// lab's first census round.
+func measureCodec(lab *experiments.Lab) *codecBench {
+	if len(lab.Runs) == 0 {
+		return nil
+	}
+	run := lab.Runs[0]
+	samples := 0
+	for _, row := range run.RTTus {
+		for _, v := range row {
+			if v >= 0 {
+				samples++
+			}
+		}
+	}
+	if samples == 0 {
+		return nil
+	}
+
+	const reps = 3
+	measure := func(save func(*bytes.Buffer) error) (encNs, decNs float64, size int) {
+		var buf bytes.Buffer
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			buf.Reset()
+			if err := save(&buf); err != nil {
+				return 0, 0, 0
+			}
+		}
+		encNs = float64(time.Since(t0).Nanoseconds()) / reps
+		data := buf.Bytes()
+		t0 = time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := census.LoadRun(bytes.NewReader(data)); err != nil {
+				return 0, 0, 0
+			}
+		}
+		decNs = float64(time.Since(t0).Nanoseconds()) / reps
+		return encNs, decNs, len(data)
+	}
+
+	cb := &codecBench{VPs: len(run.VPs), Targets: len(run.Targets), Samples: samples}
+	cb.V2EncodeNs, cb.V2DecodeNs, cb.V2Bytes = measure(func(b *bytes.Buffer) error { return census.SaveRun(b, run) })
+	cb.GobEncodeNs, cb.GobDecodeNs, cb.GobBytes = measure(func(b *bytes.Buffer) error { return census.SaveRunLegacy(b, run) })
+	if cb.V2Bytes == 0 || cb.GobBytes == 0 {
+		return nil
+	}
+	cb.V2BytesPerSample = float64(cb.V2Bytes) / float64(samples)
+	cb.GobBytesPerSample = float64(cb.GobBytes) / float64(samples)
+	cb.SpeedupEncode = cb.GobEncodeNs / cb.V2EncodeNs
+	cb.SpeedupDecode = cb.GobDecodeNs / cb.V2DecodeNs
+	cb.SpeedupEncodeDecode = (cb.GobEncodeNs + cb.GobDecodeNs) / (cb.V2EncodeNs + cb.V2DecodeNs)
+	return cb
 }

@@ -33,6 +33,7 @@ func main() {
 	csvDir := flag.String("csv", "", "export the figure data series as CSV files to this directory")
 	expList := flag.String("exp", "all", "comma-separated experiments: table1,fig4..fig16,coverage,opendns,ablate-vps,ablate-rate,ablate-iter,ablate-mis,fusion,longitudinal,baselines,ripe (or: none)")
 	benchJSON := flag.String("benchjson", "", "measure the benchmark trajectory and write it to this JSON file")
+	streamUnicast := flag.Int("stream-unicast24s", 250_000, "unicast /24 scale of the -benchjson streaming-campaign headline (0 skips it)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -73,14 +74,16 @@ func main() {
 	cfg.Seed = *seed
 
 	fmt.Printf("building lab: %d unicast /24s, %d censuses, seed %d ...\n", cfg.Unicast24s, cfg.Censuses, cfg.Seed)
+	sampler := startHeapSampler()
 	start := time.Now()
 	lab := experiments.NewLab(cfg)
 	labElapsed := time.Since(start)
+	labPeakHeap, labGC := sampler.Stop()
 	fmt.Printf("lab ready in %v: %d targets, %d anycast /24s detected of %d true\n\n",
 		labElapsed.Round(time.Millisecond), lab.Hitlist.Len(), len(lab.Findings), len(lab.World.Deployments()))
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, lab, labElapsed); err != nil {
+		if err := writeBenchJSON(*benchJSON, lab, labElapsed, labPeakHeap, labGC, *streamUnicast); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}

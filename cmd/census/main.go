@@ -41,6 +41,9 @@ func main() {
 	save := flag.String("save", "", "directory to save the census runs (loadable with census.LoadRun)")
 	format := flag.String("format", "binary", "record format for -out: binary or csv")
 	top := flag.Int("top", 15, "print the top-N anycast ASes")
+	stream := flag.Bool("stream", true, "fold each census into the combined matrix as it completes (peak memory stays O(one run + combined)); -stream=false retains every round and batch-combines at the end")
+	shardTargets := flag.Int("shard-targets", 0, "fold work-unit width in targets (0 = auto)")
+	foldWorkers := flag.Int("fold-workers", 0, "goroutines folding a finished round (0 = GOMAXPROCS)")
 	retries := flag.Int("retries", 3, "per-VP probing attempts per census round (1 disables retrying)")
 	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "base backoff before retrying a failed VP (doubles per retry)")
 	faultSeed := flag.Uint64("fault-seed", 0, "fault plan seed (0 = world seed)")
@@ -131,26 +134,56 @@ func main() {
 		MaxAttempts: *retries, RetryBackoff: *retryBackoff}
 	log.Printf("probing with %d concurrent vantage points", ccfg.EffectiveWorkers())
 
-	var runs []*census.Run
-	var campaign census.CampaignHealth
+	// With -save, every finished round is persisted (v2 columnar format)
+	// before the streaming fold releases its matrix.
+	saved := 0
+	saveRun := func(run *census.Run) error {
+		if *save == "" {
+			return nil
+		}
+		name := filepath.Join(*save, fmt.Sprintf("census-%d.run", run.Round))
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := census.SaveRun(f, run); err != nil {
+			f.Close()
+			return fmt.Errorf("save %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("save %s: %w", name, err)
+		}
+		saved++
+		return nil
+	}
+	if *save != "" {
+		if err := os.MkdirAll(*save, 0o755); err != nil {
+			log.Fatalf("save: %v", err)
+		}
+	}
+
+	cp := census.NewCampaign(census.CampaignConfig{
+		Census:       ccfg,
+		FoldWorkers:  *foldWorkers,
+		ShardTargets: *shardTargets,
+		RetainRuns:   !*stream,
+		OnRun:        saveRun,
+	})
 	for round := 1; round <= *rounds; round++ {
 		vps := pl.Sample(*vpsPer, *seed+uint64(round))
-		t0 := time.Now()
-		run, err := census.ExecuteContext(context.Background(), world, vps, targets, black, uint64(round), ccfg)
+		sum, err := cp.ExecuteRound(context.Background(), world, vps, targets, black, uint64(round))
 		if err != nil {
 			log.Printf("census %d: probing errors (partial rows kept): %v", round, err)
 		}
 		log.Printf("census %d: %d VPs, %d probes, %d echo targets, %d greylisted (%v)",
-			round, len(vps), run.TotalProbes(), run.EchoTargets(), run.Greylist.Len(),
-			time.Since(t0).Round(time.Millisecond))
-		if run.Health.Retries > 0 || run.Health.Degraded() {
-			log.Printf("census %d health: %s", round, run.Health)
+			round, sum.VPs, sum.Probes, sum.EchoTargets, sum.GreylistLen,
+			sum.Duration.Round(time.Millisecond))
+		if sum.Health.Retries > 0 || sum.Health.Degraded() {
+			log.Printf("census %d health: %s", round, sum.Health)
 		}
-		campaign.Add(run.Health)
-		runs = append(runs, run)
 	}
-	if campaign.Degraded() {
-		log.Printf("campaign degraded: %s", campaign)
+	if cp.Health().Degraded() {
+		log.Printf("campaign degraded: %s", cp.Health())
 	}
 
 	if *out != "" {
@@ -158,30 +191,27 @@ func main() {
 			log.Fatalf("dump: %v", err)
 		}
 	}
-	if *save != "" {
-		if err := os.MkdirAll(*save, 0o755); err != nil {
-			log.Fatalf("save: %v", err)
-		}
-		for i, run := range runs {
-			name := filepath.Join(*save, fmt.Sprintf("census-%d.run", i+1))
-			f, err := os.Create(name)
-			if err != nil {
-				log.Fatalf("save: %v", err)
-			}
-			if err := census.SaveRun(f, run); err != nil {
-				log.Fatalf("save %s: %v", name, err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatalf("save %s: %v", name, err)
-			}
-		}
-		log.Printf("saved %d runs to %s", len(runs), *save)
+	if saved > 0 {
+		log.Printf("saved %d runs to %s", saved, *save)
 	}
 
-	combined, err := census.Combine(runs...)
-	if err != nil {
-		log.Fatal(err)
+	combined := cp.Combined()
+	if !*stream {
+		// Batch mode keeps every round and re-derives the combination the
+		// pre-streaming way; the result is byte-identical to the fold.
+		var err error
+		combined, err = census.Combine(cp.Runs()...)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
+	if combined == nil {
+		log.Fatal("no census rounds ran")
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	log.Printf("heap after campaign: %.1f MiB in use, %.1f MiB from OS, %d GC cycles",
+		float64(ms.HeapAlloc)/(1<<20), float64(ms.Sys)/(1<<20), ms.NumGC)
 	outcomes := census.AnalyzeAll(db, combined, core.Options{}, 2, 0)
 	findings := analysis.Attribute(outcomes, table)
 	g := analysis.GlanceOf(findings)

@@ -1,6 +1,7 @@
 package census
 
 import (
+	"bytes"
 	"testing"
 
 	"anycastmap/internal/detrand"
@@ -55,6 +56,89 @@ func BenchmarkCombine(b *testing.B) {
 		}
 		if len(c.VPs) != 200 {
 			b.Fatal("lost VPs in combine")
+		}
+	}
+}
+
+// BenchmarkStreamCombine measures the streaming fold of the same campaign:
+// the bounded-memory path must not cost more than the batch merge.
+func BenchmarkStreamCombine(b *testing.B) {
+	runs := synthRuns(4, 200, 20_000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := StreamCombine(CampaignConfig{}, len(runs), func(j int) (*Run, error) { return runs[j], nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(c.VPs) != 200 {
+			b.Fatal("lost VPs in fold")
+		}
+	}
+}
+
+// BenchmarkSaveRunV2 measures the columnar encoder at one-census scale.
+func BenchmarkSaveRunV2(b *testing.B) {
+	run := synthRuns(1, 200, 20_000)[0]
+	var buf bytes.Buffer
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := SaveRun(&buf, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkLoadRunV2 measures the columnar decoder at one-census scale.
+func BenchmarkLoadRunV2(b *testing.B) {
+	run := synthRuns(1, 200, 20_000)[0]
+	var buf bytes.Buffer
+	if err := SaveRun(&buf, run); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadRun(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSaveRunLegacy and BenchmarkLoadRunLegacy keep the gob+flate
+// numbers visible next to the v2 ones.
+func BenchmarkSaveRunLegacy(b *testing.B) {
+	run := synthRuns(1, 200, 20_000)[0]
+	var buf bytes.Buffer
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := SaveRunLegacy(&buf, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkLoadRunLegacy(b *testing.B) {
+	run := synthRuns(1, 200, 20_000)[0]
+	var buf bytes.Buffer
+	if err := SaveRunLegacy(&buf, run); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadRun(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,273 @@
+package census
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anycastmap/internal/hitlist"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/prober"
+)
+
+// This file is the streaming data path of the campaign. The batch path
+// (Execute every round, keep every Run, Combine at the end) holds
+// rounds × V × T dense int32 cells alive simultaneously — the exact
+// failure mode the paper's own Table 1 rewrite attacked (79 GB of text vs
+// 6 GB of binary). A Campaign instead folds each finished round into the
+// combined minimum-RTT matrix and lets the round's rows go: peak memory is
+// O(one run + combined) no matter how many censuses the campaign runs.
+//
+// The fold is exact, not approximate: per-cell minimum is commutative and
+// associative and the greylist merge is a set union, so the streamed
+// Combined is byte-identical to the batch Combine of the same rounds
+// (TestCensusDeterminism proves it across worker counts and shard sizes).
+
+// CampaignConfig tunes a streaming campaign.
+type CampaignConfig struct {
+	// Census tunes each probing round (rate, seed, workers, retries).
+	Census Config
+	// FoldWorkers bounds the goroutines folding a finished round into
+	// the combined matrix; zero means GOMAXPROCS. The fold result does
+	// not depend on the worker count.
+	FoldWorkers int
+	// ShardTargets is the width (in targets) of one fold work unit; the
+	// combined matrix is sharded column-wise so workers never share a
+	// cell. Zero picks a width that spreads one VP row over a few
+	// shards. The fold result does not depend on the shard size.
+	ShardTargets int
+	// RetainRuns keeps every folded *Run alive (Runs) for analyses
+	// that need individual rounds — the Fig. 4 funnel and the per-census
+	// ablations. Off, each round's matrix is released after its fold and
+	// peak memory stays bounded.
+	RetainRuns bool
+	// OnRun, when set, observes every finished round after it is folded
+	// and before it is discarded: the hook is where cmd/census persists
+	// rounds to disk in the v2 format. An error aborts the campaign.
+	OnRun func(*Run) error
+}
+
+func (c CampaignConfig) foldWorkers() int {
+	if c.FoldWorkers > 0 {
+		return c.FoldWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Campaign accumulates census rounds into a combined minimum-RTT matrix as
+// they complete. The zero value is not usable; construct with NewCampaign.
+// Campaign is not safe for concurrent FoldRun calls: rounds fold in
+// sequence (each fold is internally parallel).
+type Campaign struct {
+	cfg CampaignConfig
+
+	combined *Combined
+	byID     map[int]int // vp.ID -> row slot in combined
+	grey     *prober.Greylist
+	health   CampaignHealth
+	runs     []*Run
+}
+
+// NewCampaign returns an empty streaming campaign.
+func NewCampaign(cfg CampaignConfig) *Campaign {
+	return &Campaign{
+		cfg:  cfg,
+		byID: make(map[int]int),
+		grey: prober.NewGreylist(),
+	}
+}
+
+// RoundSummary is the lightweight per-round record a streaming campaign
+// keeps after the round's matrix is gone: what cmd/census logs, without
+// the O(V×T) payload.
+type RoundSummary struct {
+	Round       uint64
+	VPs         int
+	Probes      int
+	EchoTargets int
+	GreylistLen int
+	Health      RunHealth
+	Duration    time.Duration
+}
+
+// FoldRun merges one finished round into the campaign: per-cell minimum
+// into the combined matrix, set union into the campaign greylist, health
+// into the campaign summary. The run's target list must match the rounds
+// folded before it. After FoldRun returns the campaign holds no reference
+// to the run's matrix unless RetainRuns is set.
+func (cp *Campaign) FoldRun(run *Run) error {
+	if cp.combined == nil {
+		cp.combined = &Combined{
+			Targets: run.Targets,
+			RTTus:   make([][]int32, 0, len(run.VPs)),
+		}
+	} else {
+		if len(run.Targets) != len(cp.combined.Targets) {
+			return fmt.Errorf("census: round %d has %d targets, campaign has %d",
+				run.Round, len(run.Targets), len(cp.combined.Targets))
+		}
+		for ti, tgt := range run.Targets {
+			if tgt != cp.combined.Targets[ti] {
+				return fmt.Errorf("census: round %d target list diverges at index %d (%v vs %v)",
+					run.Round, ti, tgt, cp.combined.Targets[ti])
+			}
+		}
+	}
+	c := cp.combined
+	c.Rounds++
+
+	// Register the round's vantage points serially: new VPs extend the
+	// union in first-seen order (matching the batch Combine ordering),
+	// existing ones map to their slot.
+	slots := make([]int, len(run.VPs))
+	fresh := make([]bool, len(run.VPs))
+	for vi, vp := range run.VPs {
+		si, ok := cp.byID[vp.ID]
+		if !ok {
+			si = len(c.VPs)
+			cp.byID[vp.ID] = si
+			c.VPs = append(c.VPs, vp)
+			c.RTTus = append(c.RTTus, nil)
+			fresh[vi] = true
+		}
+		slots[vi] = si
+	}
+
+	// Fold the rows in column shards pulled from an atomic counter: every
+	// combined cell is written by exactly one worker, so the result is
+	// identical at any worker count or shard width. Fresh rows are copied
+	// (the batch path copies the first-seen row, noSample cells included),
+	// existing rows min-merge.
+	nT := len(c.Targets)
+	shard := cp.cfg.ShardTargets
+	if shard <= 0 {
+		shard = nT/(4*cp.cfg.foldWorkers()) + 1
+	}
+	shardsPerRow := (nT + shard - 1) / shard
+	if shardsPerRow == 0 {
+		shardsPerRow = 1 // zero-target campaigns still register VPs
+	}
+	for vi := range run.VPs {
+		if fresh[vi] {
+			// Allocation happens once, outside the sharded loop.
+			c.RTTus[slots[vi]] = make([]int32, nT)
+		}
+	}
+	total := len(run.VPs) * shardsPerRow
+	workers := cp.cfg.foldWorkers()
+	if workers > total {
+		workers = total
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				unit := int(next.Add(1) - 1)
+				if unit >= total {
+					return
+				}
+				vi := unit / shardsPerRow
+				lo := (unit % shardsPerRow) * shard
+				hi := lo + shard
+				if hi > nT {
+					hi = nT
+				}
+				src := run.RTTus[vi][lo:hi]
+				dst := c.RTTus[slots[vi]][lo:hi]
+				if fresh[vi] {
+					copy(dst, src)
+					continue
+				}
+				for t, v := range src {
+					if v < 0 {
+						continue
+					}
+					if dst[t] < 0 || v < dst[t] {
+						dst[t] = v
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	cp.grey.Merge(run.Greylist)
+	cp.health.Add(run.Health)
+	if cp.cfg.RetainRuns {
+		cp.runs = append(cp.runs, run)
+	}
+	if cp.cfg.OnRun != nil {
+		if err := cp.cfg.OnRun(run); err != nil {
+			return fmt.Errorf("census: campaign round %d hook: %w", run.Round, err)
+		}
+	}
+	return nil
+}
+
+// ExecuteRound probes one census round and folds it into the campaign,
+// returning the round's summary. Per-VP probing errors degrade rather than
+// abort (quarantined VPs keep their partial rows, exactly as
+// ExecuteContext); the round still folds, and the error is returned for
+// surfacing. Unless RetainRuns is set the round's matrix is unreferenced
+// when ExecuteRound returns.
+func (cp *Campaign) ExecuteRound(ctx context.Context, w *netsim.World, vps []platform.VP, h *hitlist.Hitlist, blacklist *prober.Greylist, round uint64) (RoundSummary, error) {
+	t0 := time.Now()
+	run, err := ExecuteContext(ctx, w, vps, h, blacklist, round, cp.cfg.Census)
+	if ctx.Err() != nil {
+		return RoundSummary{Round: round}, err
+	}
+	sum := RoundSummary{
+		Round:       round,
+		VPs:         len(run.VPs),
+		Probes:      run.TotalProbes(),
+		EchoTargets: run.EchoTargets(),
+		GreylistLen: run.Greylist.Len(),
+		Health:      run.Health,
+	}
+	if ferr := cp.FoldRun(run); ferr != nil {
+		return sum, ferr
+	}
+	sum.Duration = time.Since(t0)
+	return sum, err
+}
+
+// Combined returns the minimum-RTT combination of every round folded so
+// far, or nil before the first fold. The matrix is live: folding further
+// rounds keeps updating it.
+func (cp *Campaign) Combined() *Combined { return cp.combined }
+
+// Greylist returns the union of every folded round's greylist.
+func (cp *Campaign) Greylist() *prober.Greylist { return cp.grey }
+
+// Health returns the campaign health aggregated over the folded rounds.
+func (cp *Campaign) Health() CampaignHealth { return cp.health }
+
+// Runs returns the retained rounds (RetainRuns only; nil otherwise).
+func (cp *Campaign) Runs() []*Run { return cp.runs }
+
+// StreamCombine is the one-shot form of the streaming fold: source is
+// called with 0..rounds-1 and each returned run is folded and released.
+// It is the memory-bounded equivalent of Combine(source(0..rounds-1)...).
+func StreamCombine(cfg CampaignConfig, rounds int, source func(i int) (*Run, error)) (*Combined, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("census: nothing to combine")
+	}
+	cp := NewCampaign(cfg)
+	for i := 0; i < rounds; i++ {
+		run, err := source(i)
+		if err != nil {
+			return nil, err
+		}
+		if err := cp.FoldRun(run); err != nil {
+			return nil, err
+		}
+	}
+	return cp.Combined(), nil
+}

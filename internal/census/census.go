@@ -356,6 +356,12 @@ type Combined struct {
 	Targets []netsim.IP
 	RTTus   [][]int32
 	Rounds  int
+
+	// echoTargets memoizes EchoTargets like Run.echoTargets does: the
+	// funnel and census-figure paths call it repeatedly and the full V×T
+	// scan is too expensive to repeat.
+	echoOnce    sync.Once
+	echoTargets int
 }
 
 // Combine merges census runs. All runs must share the same target list.
@@ -468,18 +474,21 @@ func (c *Combined) AppendMeasurements(t int, ms []core.Measurement, vpIdx []int)
 	return ms, vpIdx
 }
 
-// EchoTargets returns how many targets have at least one sample.
+// EchoTargets returns how many targets have at least one sample. The
+// count is computed once and memoized; call it only once the matrix is
+// final (after the last Combine or Campaign.FoldRun).
 func (c *Combined) EchoTargets() int {
-	n := 0
-	for t := range c.Targets {
-		for v := range c.VPs {
-			if c.RTTus[v][t] >= 0 {
-				n++
-				break
+	c.echoOnce.Do(func() {
+		for t := range c.Targets {
+			for v := range c.VPs {
+				if c.RTTus[v][t] >= 0 {
+					c.echoTargets++
+					break
+				}
 			}
 		}
-	}
-	return n
+	})
+	return c.echoTargets
 }
 
 // Outcome is the analysis result for one anycast target.

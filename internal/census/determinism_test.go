@@ -2,10 +2,10 @@ package census
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"testing"
-	"time"
 
 	"anycastmap/internal/cities"
 	"anycastmap/internal/core"
@@ -13,24 +13,37 @@ import (
 	"anycastmap/internal/netsim"
 	"anycastmap/internal/platform"
 	"anycastmap/internal/prober"
-	"anycastmap/internal/record"
 )
 
+// digestConfig selects one pipeline variant for campaignDigest: the
+// execution knobs (probe cache, census workers) and the combine path
+// (batch Combine versus a streaming Campaign at a given fold worker
+// count and shard width).
+type digestConfig struct {
+	disableCache bool
+	workers      int
+	stream       bool
+	foldWorkers  int
+	shardTargets int
+}
+
 // campaignDigest runs a small two-round campaign and serializes everything
-// the pipeline observes: the record-encoded per-VP latency rows, the
-// sorted greylist, and the analysis outcomes. Byte-equal digests mean the
-// pipelines are indistinguishable.
-func campaignDigest(t *testing.T, disableCache bool, workers int) []byte {
+// the pipeline observes: the saved run bytes (SaveRun's v2 format is
+// byte-deterministic, so the files themselves are part of the digest), the
+// combined minimum-RTT matrix, the campaign greylist union, and the
+// analysis outcomes. Byte-equal digests mean the pipelines are
+// indistinguishable.
+func campaignDigest(t *testing.T, dc digestConfig) []byte {
 	t.Helper()
 	wcfg := netsim.DefaultConfig()
 	wcfg.Unicast24s = 500
-	wcfg.DisableProbeCache = disableCache
+	wcfg.DisableProbeCache = dc.disableCache
 	w := netsim.New(wcfg)
 
 	pl := platform.PlanetLab(cities.Default())
 	vps := pl.VPs()[:24]
 	h := hitlist.FromWorld(w).PruneNeverAlive()
-	cfg := Config{Seed: 11, Workers: workers, RetryBackoff: -1}
+	cfg := Config{Seed: 11, Workers: dc.workers, RetryBackoff: -1}
 
 	blacklist, err := prober.BuildBlacklist(w, vps[0], h.Targets(), prober.Config{Seed: cfg.Seed})
 	if err != nil {
@@ -38,48 +51,63 @@ func campaignDigest(t *testing.T, disableCache bool, workers int) []byte {
 	}
 
 	var buf bytes.Buffer
-	bw := record.NewBinaryWriter(&buf)
-	runs := make([]*Run, 0, 2)
+	cp := NewCampaign(CampaignConfig{
+		Census:       cfg,
+		FoldWorkers:  dc.foldWorkers,
+		ShardTargets: dc.shardTargets,
+	})
+	var runs []*Run
 	for round := uint64(1); round <= 2; round++ {
 		run := Execute(w, vps, h, blacklist, round, cfg)
-		runs = append(runs, run)
-		// The record encoding of the matrix: row-major, fixed order. (The
-		// gob side of SaveRun serializes maps and is not byte-stable.)
-		for v := range run.VPs {
-			for ti, target := range run.Targets {
-				us := run.RTTus[v][ti]
-				if us < 0 {
-					continue
-				}
-				if err := bw.Write(record.Sample{
-					Target: target,
-					Kind:   netsim.ReplyEcho,
-					RTT:    time.Duration(us) * time.Microsecond,
-				}); err != nil {
-					t.Fatal(err)
-				}
+		if err := SaveRun(&buf, run); err != nil {
+			t.Fatal(err)
+		}
+		if dc.stream {
+			if err := cp.FoldRun(run); err != nil {
+				t.Fatal(err)
 			}
+		} else {
+			runs = append(runs, run)
 		}
-		// Greylist: sorted snapshot.
-		snap := run.Greylist.Snapshot()
-		ips := make([]netsim.IP, 0, len(snap))
-		for ip := range snap {
-			ips = append(ips, ip)
-		}
-		sort.Slice(ips, func(a, b int) bool { return ips[a] < ips[b] })
-		for _, ip := range ips {
-			fmt.Fprintf(&buf, "grey %v %d\n", ip, snap[ip])
-		}
-	}
-	if err := bw.Flush(); err != nil {
-		t.Fatal(err)
 	}
 
-	combined, err := Combine(runs...)
-	if err != nil {
-		t.Fatal(err)
+	var combined *Combined
+	grey := prober.NewGreylist()
+	if dc.stream {
+		combined = cp.Combined()
+		grey.Merge(cp.Greylist())
+	} else {
+		combined, err = Combine(runs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, run := range runs {
+			grey.Merge(run.Greylist)
+		}
 	}
-	outcomes := AnalyzeAll(cities.Default(), combined, core.Options{}, 2, workers)
+
+	// Combined matrix: raw little-endian cells, row-major in VP order.
+	fmt.Fprintf(&buf, "combined %d vps %d targets %d rounds\n",
+		len(combined.VPs), len(combined.Targets), combined.Rounds)
+	for v, vp := range combined.VPs {
+		fmt.Fprintf(&buf, "vp %d %s\n", vp.ID, vp.Name)
+		if err := binary.Write(&buf, binary.LittleEndian, combined.RTTus[v]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Campaign greylist union: sorted snapshot.
+	snap := grey.Snapshot()
+	ips := make([]netsim.IP, 0, len(snap))
+	for ip := range snap {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(a, b int) bool { return ips[a] < ips[b] })
+	for _, ip := range ips {
+		fmt.Fprintf(&buf, "grey %v %d\n", ip, snap[ip])
+	}
+
+	outcomes := AnalyzeAll(cities.Default(), combined, core.Options{}, 2, dc.workers)
 	for _, o := range outcomes {
 		fmt.Fprintf(&buf, "out %v n=%d cities=%v iter=%d\n",
 			o.Target, o.Result.Count(), o.Result.Cities(), o.Result.Iterations)
@@ -88,22 +116,28 @@ func campaignDigest(t *testing.T, disableCache bool, workers int) []byte {
 }
 
 // TestCensusDeterminism is the PR's regression gate: a census campaign's
-// record-encoded rows, greylists and analysis outcomes are byte-identical
-// across worker counts and with the probe caches on or off.
+// saved run bytes, combined matrix, greylist union and analysis outcomes
+// are byte-identical across worker counts, with the probe caches on or
+// off, and — the streaming data path's contract — whether the rounds are
+// batch-Combined or folded through a Campaign at any fold worker count
+// and shard width.
 func TestCensusDeterminism(t *testing.T) {
-	ref := campaignDigest(t, false, 1)
+	ref := campaignDigest(t, digestConfig{workers: 1})
 	for _, tc := range []struct {
-		name         string
-		disableCache bool
-		workers      int
+		name string
+		dc   digestConfig
 	}{
-		{"cache_workers4", false, 4},
-		{"nocache_workers1", true, 1},
-		{"nocache_workers4", true, 4},
+		{"batch_cache_workers4", digestConfig{workers: 4}},
+		{"batch_nocache_workers1", digestConfig{disableCache: true, workers: 1}},
+		{"batch_nocache_workers4", digestConfig{disableCache: true, workers: 4}},
+		{"stream_fold1_shard1", digestConfig{workers: 1, stream: true, foldWorkers: 1, shardTargets: 1}},
+		{"stream_fold4_shard64", digestConfig{workers: 4, stream: true, foldWorkers: 4, shardTargets: 64}},
+		{"stream_fold3_shardhuge", digestConfig{workers: 2, stream: true, foldWorkers: 3, shardTargets: 1 << 20}},
+		{"stream_nocache_workers4", digestConfig{disableCache: true, workers: 4, stream: true}},
 	} {
-		got := campaignDigest(t, tc.disableCache, tc.workers)
+		got := campaignDigest(t, tc.dc)
 		if !bytes.Equal(ref, got) {
-			t.Fatalf("%s: digest differs from cache_workers1 reference (%d vs %d bytes)", tc.name, len(got), len(ref))
+			t.Fatalf("%s: digest differs from batch workers=1 reference (%d vs %d bytes)", tc.name, len(got), len(ref))
 		}
 	}
 }

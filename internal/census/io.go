@@ -1,6 +1,7 @@
 package census
 
 import (
+	"bufio"
 	"compress/flate"
 	"encoding/gob"
 	"fmt"
@@ -11,10 +12,15 @@ import (
 	"anycastmap/internal/prober"
 )
 
-// runDisk is the persisted shape of a census run. The paper's workflow
-// uploads each vantage point's measurements to a central repository
-// (Fig. 1); SaveRun/LoadRun are that repository's storage format: gob
-// encoding under DEFLATE, which squeezes the sparse latency matrix well.
+// The paper's workflow uploads each vantage point's measurements to a
+// central repository (Fig. 1); SaveRun/LoadRun are that repository's
+// storage format. Generation 1 was gob under DEFLATE; generation 2
+// (iov2.go) is the columnar varint format — byte-deterministic, parallel,
+// and several times faster on both sides. SaveRun writes v2; LoadRun
+// recognizes both by the leading magic, so archives saved by older
+// builds keep loading.
+
+// runDisk is the persisted shape of a legacy (gob+flate) census run.
 type runDisk struct {
 	Round    uint64
 	VPs      []platform.VP
@@ -25,8 +31,18 @@ type runDisk struct {
 	Health   RunHealth
 }
 
-// SaveRun writes the census run to w.
+// SaveRun writes the census run to w in the v2 columnar format. The
+// output is byte-deterministic: saving the same run twice yields
+// identical bytes.
 func SaveRun(w io.Writer, r *Run) error {
+	return saveRunV2(w, r)
+}
+
+// SaveRunLegacy writes the generation-1 gob+flate encoding. It exists so
+// tests (and operators migrating archives) can still produce legacy
+// files; its bytes are not deterministic (gob serializes the greylist
+// map in random order).
+func SaveRunLegacy(w io.Writer, r *Run) error {
 	fw, err := flate.NewWriter(w, flate.DefaultCompression)
 	if err != nil {
 		return fmt.Errorf("census: %w", err)
@@ -49,8 +65,25 @@ func SaveRun(w io.Writer, r *Run) error {
 	return nil
 }
 
-// LoadRun reads a census run saved by SaveRun and validates its shape.
+// LoadRun reads a census run saved by SaveRun — either format, v2
+// columnar or legacy gob+flate, recognized by the leading bytes — and
+// validates its shape.
 func LoadRun(r io.Reader) (*Run, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(runMagicV2))
+	if err == nil && string(head) == runMagicV2 {
+		br.Discard(len(runMagicV2))
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("census: read v2 run: %w", err)
+		}
+		return loadRunV2(data)
+	}
+	return loadRunLegacy(br)
+}
+
+// loadRunLegacy decodes the generation-1 gob+flate encoding.
+func loadRunLegacy(r io.Reader) (*Run, error) {
 	fr := flate.NewReader(r)
 	defer fr.Close()
 	var disk runDisk

@@ -1,0 +1,491 @@
+package census
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/prober"
+)
+
+// The v2 run format is the census-scale version of Table 1's
+// textual-to-binary rewrite, applied a second time: gob+flate spends
+// reflection on every row and funnels the whole matrix through one
+// single-threaded DEFLATE stream, which is what made run persistence the
+// slowest stage of a large campaign. v2 is columnar and explicit instead:
+//
+//	magic   "ACMR2\n"
+//	flags   byte (reserved, 0)
+//	meta    uvarint length + gob(runMetaV2)   — small, map-free, stable
+//	grey    uvarint count, then per entry: uvarint IP delta (sorted
+//	        ascending) + kind byte
+//	rows    uvarint nVP, uvarint nTargets, uvarint per-row encoded
+//	        lengths, then the concatenated row payloads
+//
+// Each row is independently decodable — a sample count followed by
+// (uvarint target-index gap, uvarint RTT µs) pairs, the delta/varint
+// technique of internal/record's compact format — so encode and decode
+// both parallelize across GOMAXPROCS row workers. Every byte is a pure
+// function of the run (the greylist is sorted, the meta holds no maps),
+// so saving the same run twice yields identical files; the determinism
+// test compares saved bytes directly.
+
+const runMagicV2 = "ACMR2\n"
+
+// runMetaV2 is the small gob-encoded head of a v2 file: everything except
+// the matrix and the greylist. It contains no maps, so its gob bytes are
+// deterministic.
+type runMetaV2 struct {
+	Round   uint64
+	VPs     []platform.VP
+	Targets []netsim.IP
+	Stats   []prober.Stats
+	Health  RunHealth
+}
+
+// saveRunV2 writes the v2 columnar encoding of the run.
+func saveRunV2(w io.Writer, r *Run) error {
+	var buf bytes.Buffer
+	buf.WriteString(runMagicV2)
+	buf.WriteByte(0) // flags
+
+	var meta bytes.Buffer
+	if err := gob.NewEncoder(&meta).Encode(runMetaV2{
+		Round:   r.Round,
+		VPs:     r.VPs,
+		Targets: r.Targets,
+		Stats:   r.Stats,
+		Health:  r.Health,
+	}); err != nil {
+		return fmt.Errorf("census: encode run meta: %w", err)
+	}
+	putUvarint(&buf, uint64(meta.Len()))
+	buf.Write(meta.Bytes())
+
+	encodeGreylistV2(&buf, r.Greylist)
+
+	rows, err := encodeRowsV2(r.RTTus, len(r.Targets))
+	if err != nil {
+		return err
+	}
+	putUvarint(&buf, uint64(len(r.RTTus)))
+	putUvarint(&buf, uint64(len(r.Targets)))
+	for _, row := range rows {
+		putUvarint(&buf, uint64(len(row)))
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("census: %w", err)
+	}
+	for _, row := range rows {
+		if _, err := w.Write(row); err != nil {
+			return fmt.Errorf("census: %w", err)
+		}
+	}
+	return nil
+}
+
+// encodeGreylistV2 appends the sorted delta-encoded greylist section.
+func encodeGreylistV2(buf *bytes.Buffer, g *prober.Greylist) {
+	snap := g.Snapshot()
+	ips := make([]netsim.IP, 0, len(snap))
+	for ip := range snap {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(a, b int) bool { return ips[a] < ips[b] })
+	putUvarint(buf, uint64(len(ips)))
+	prev := netsim.IP(0)
+	for _, ip := range ips {
+		putUvarint(buf, uint64(ip-prev))
+		buf.WriteByte(byte(snap[ip]))
+		prev = ip
+	}
+}
+
+// Row payload modes. A census row is dense (~60-80% of targets answer),
+// so listing a varint gap per sample wastes ~1 byte/sample; a presence
+// bitmap costs a fixed nTargets/8 bytes instead. Sparse rows (quarantined
+// VPs, heavy loss) flip back to the gap list. The mode is a pure function
+// of the row contents, so the choice never breaks byte determinism.
+const (
+	rowModeGaps   = 0 // uvarint (gap, value) pairs
+	rowModeBitmap = 1 // presence bitmap, then values in index order
+)
+
+// encodeRowsV2 encodes every matrix row in parallel. Row payloads are
+// independent, so the bytes do not depend on the worker count.
+func encodeRowsV2(rttus [][]int32, nTargets int) ([][]byte, error) {
+	for vi, row := range rttus {
+		if len(row) != nTargets {
+			return nil, fmt.Errorf("census: row %d has %d cells for %d targets", vi, len(row), nTargets)
+		}
+	}
+	rows := make([][]byte, len(rttus))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(rttus) {
+		workers = len(rttus)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				vi := int(next.Add(1) - 1)
+				if vi >= len(rttus) {
+					return
+				}
+				rows[vi] = encodeRowV2(rttus[vi], nTargets)
+			}
+		}()
+	}
+	wg.Wait()
+	return rows, nil
+}
+
+// encodeRowV2 encodes one row: mode byte, uvarint sample count, then the
+// mode's payload. RTT values above the pipeline's 2^30 µs clamp are
+// clamped again here so re-encoding a foreign (legacy) run stays within
+// the decoder's bound.
+func encodeRowV2(row []int32, nTargets int) []byte {
+	n := 0
+	for _, v := range row {
+		if v >= 0 {
+			n++
+		}
+	}
+	bitmapLen := (nTargets + 7) / 8
+	var tmp [binary.MaxVarintLen64]byte
+	if bitmapLen <= n {
+		// Dense: presence bitmap + values in index order (~3 bytes per
+		// sample at census RTT magnitudes, amortized bitmap well under
+		// a byte).
+		out := make([]byte, 0, 1+binary.MaxVarintLen64+bitmapLen+n*4)
+		out = append(out, rowModeBitmap)
+		out = binary.AppendUvarint(out, uint64(n))
+		bitmap := make([]byte, bitmapLen)
+		for ti, v := range row {
+			if v >= 0 {
+				bitmap[ti>>3] |= 1 << (ti & 7)
+			}
+		}
+		out = append(out, bitmap...)
+		for _, v := range row {
+			if v < 0 {
+				continue
+			}
+			if v > 1<<30 {
+				v = 1 << 30
+			}
+			m := binary.PutUvarint(tmp[:], uint64(v))
+			out = append(out, tmp[:m]...)
+		}
+		return out
+	}
+	// Sparse: delta/varint (gap, value) pairs, the compact-format
+	// technique of internal/record.
+	out := make([]byte, 0, 1+binary.MaxVarintLen64+n*5)
+	out = append(out, rowModeGaps)
+	out = binary.AppendUvarint(out, uint64(n))
+	prev := -1
+	for ti, v := range row {
+		if v < 0 {
+			continue
+		}
+		if v > 1<<30 {
+			v = 1 << 30
+		}
+		out = binary.AppendUvarint(out, uint64(ti-prev))
+		m := binary.PutUvarint(tmp[:], uint64(v))
+		out = append(out, tmp[:m]...)
+		prev = ti
+	}
+	return out
+}
+
+// loadRunV2 decodes a v2 run; data starts immediately after the magic.
+func loadRunV2(data []byte) (*Run, error) {
+	b := data
+	if len(b) < 1 {
+		return nil, fmt.Errorf("census: truncated v2 run header")
+	}
+	if b[0] != 0 {
+		return nil, fmt.Errorf("census: unknown v2 flags 0x%02x", b[0])
+	}
+	b = b[1:]
+
+	metaLen, b, err := takeUvarint(b, "meta length")
+	if err != nil {
+		return nil, err
+	}
+	if metaLen > uint64(len(b)) {
+		return nil, fmt.Errorf("census: v2 meta length %d exceeds payload", metaLen)
+	}
+	var meta runMetaV2
+	if err := gob.NewDecoder(bytes.NewReader(b[:metaLen])).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("census: decode run meta: %w", err)
+	}
+	b = b[metaLen:]
+
+	grey, b, err := decodeGreylistV2(b)
+	if err != nil {
+		return nil, err
+	}
+
+	nVP, b, err := takeUvarint(b, "row count")
+	if err != nil {
+		return nil, err
+	}
+	nT, b, err := takeUvarint(b, "target count")
+	if err != nil {
+		return nil, err
+	}
+	if nVP != uint64(len(meta.VPs)) {
+		return nil, fmt.Errorf("census: run has %d matrix rows for %d VPs", nVP, len(meta.VPs))
+	}
+	if nT != uint64(len(meta.Targets)) {
+		return nil, fmt.Errorf("census: run has %d-cell rows for %d targets", nT, len(meta.Targets))
+	}
+	// The guard below caps per-row allocation, but an adversarial header
+	// could still claim huge counts; bound them by the payload size first.
+	if nVP > uint64(len(b)) {
+		return nil, fmt.Errorf("census: v2 row table (%d rows) exceeds payload", nVP)
+	}
+	lengths := make([]uint64, nVP)
+	var totalRows uint64
+	for i := range lengths {
+		lengths[i], b, err = takeUvarint(b, "row length")
+		if err != nil {
+			return nil, err
+		}
+		totalRows += lengths[i]
+	}
+	if totalRows > uint64(len(b)) {
+		return nil, fmt.Errorf("census: v2 rows (%d bytes) exceed payload (%d)", totalRows, len(b))
+	}
+
+	if totalRows < uint64(len(b)) {
+		return nil, fmt.Errorf("census: v2 run has %d trailing bytes", uint64(len(b))-totalRows)
+	}
+	// Cap the dense-matrix allocation before trusting the header: 2^31
+	// cells (8 GiB) is far above any real campaign and far below what a
+	// forged header could otherwise demand.
+	if nVP > 0 && nT > (1<<31)/nVP {
+		return nil, fmt.Errorf("census: v2 run claims %d x %d cells, beyond the decoder cap", nVP, nT)
+	}
+
+	// Slice each row's payload, then decode rows in parallel into one
+	// contiguous backing slab (a single allocation for the whole dense
+	// matrix; loaded rows are read-only downstream).
+	payloads := make([][]byte, nVP)
+	for i, l := range lengths {
+		payloads[i], b = b[:l], b[l:]
+	}
+	slab := make([]int32, nVP*nT)
+	rttus := make([][]int32, nVP)
+	for vi := range rttus {
+		rttus[vi] = slab[uint64(vi)*nT : uint64(vi+1)*nT : uint64(vi+1)*nT]
+	}
+	decErrs := make([]error, nVP)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > int(nVP) {
+		workers = int(nVP)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				vi := int(next.Add(1) - 1)
+				if vi >= int(nVP) {
+					return
+				}
+				decErrs[vi] = decodeRowV2(payloads[vi], rttus[vi], vi)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range decErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return &Run{
+		Round:    meta.Round,
+		VPs:      meta.VPs,
+		Targets:  meta.Targets,
+		RTTus:    rttus,
+		Stats:    meta.Stats,
+		Greylist: grey,
+		Health:   meta.Health,
+	}, nil
+}
+
+// decodeRowV2 expands one row payload into the dense destination row.
+func decodeRowV2(p []byte, row []int32, vi int) error {
+	nTargets := len(row)
+	if len(p) < 1 {
+		return fmt.Errorf("census: row %d: truncated mode byte", vi)
+	}
+	mode := p[0]
+	p = p[1:]
+	n, p, err := takeUvarint(p, "row sample count")
+	if err != nil {
+		return fmt.Errorf("census: row %d: %w", vi, err)
+	}
+	if n > uint64(nTargets) {
+		return fmt.Errorf("census: row %d claims %d samples for %d targets", vi, n, nTargets)
+	}
+
+	switch mode {
+	case rowModeBitmap:
+		bitmapLen := (nTargets + 7) / 8
+		if len(p) < bitmapLen {
+			return fmt.Errorf("census: row %d: truncated bitmap", vi)
+		}
+		bitmap := p[:bitmapLen]
+		p = p[bitmapLen:]
+		seen := uint64(0)
+		for ti := 0; ti < nTargets; ti++ {
+			if bitmap[ti>>3]&(1<<(ti&7)) == 0 {
+				row[ti] = noSample
+				continue
+			}
+			us, rest, err := fastUvarint(p)
+			if err != nil {
+				return fmt.Errorf("census: row %d: truncated sample delay", vi)
+			}
+			if us > 1<<30 {
+				return fmt.Errorf("census: row %d sample delay %d out of range", vi, us)
+			}
+			row[ti] = int32(us)
+			p = rest
+			seen++
+		}
+		if seen != n {
+			return fmt.Errorf("census: row %d bitmap has %d samples, header says %d", vi, seen, n)
+		}
+		// Bits past nTargets in the last bitmap byte must be clear, or
+		// two encodings of the same row could differ.
+		if nTargets%8 != 0 && bitmap[bitmapLen-1]>>(nTargets%8) != 0 {
+			return fmt.Errorf("census: row %d bitmap has bits past the last target", vi)
+		}
+	case rowModeGaps:
+		ti := -1
+		for s := uint64(0); s < n; s++ {
+			gap, rest, err := fastUvarint(p)
+			if err != nil {
+				return fmt.Errorf("census: row %d: truncated sample gap", vi)
+			}
+			us, rest, err := fastUvarint(rest)
+			if err != nil {
+				return fmt.Errorf("census: row %d: truncated sample delay", vi)
+			}
+			p = rest
+			if gap == 0 || gap > uint64(nTargets) {
+				return fmt.Errorf("census: row %d has invalid sample gap %d", vi, gap)
+			}
+			for skip := ti + 1; skip < ti+int(gap); skip++ {
+				row[skip] = noSample
+			}
+			ti += int(gap)
+			if ti >= nTargets {
+				return fmt.Errorf("census: row %d sample index %d out of range", vi, ti)
+			}
+			if us > 1<<30 {
+				return fmt.Errorf("census: row %d sample delay %d out of range", vi, us)
+			}
+			row[ti] = int32(us)
+		}
+		for skip := ti + 1; skip < nTargets; skip++ {
+			row[skip] = noSample
+		}
+	default:
+		return fmt.Errorf("census: row %d has unknown mode %d", vi, mode)
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("census: row %d has %d trailing bytes", vi, len(p))
+	}
+	return nil
+}
+
+// fastUvarint is binary.Uvarint with the one- to four-byte cases (every
+// gap and every census-scale RTT in µs) inlined ahead of the generic
+// loop.
+func fastUvarint(p []byte) (uint64, []byte, error) {
+	switch {
+	case len(p) >= 1 && p[0] < 0x80:
+		return uint64(p[0]), p[1:], nil
+	case len(p) >= 2 && p[1] < 0x80:
+		return uint64(p[0]&0x7F) | uint64(p[1])<<7, p[2:], nil
+	case len(p) >= 3 && p[2] < 0x80:
+		return uint64(p[0]&0x7F) | uint64(p[1]&0x7F)<<7 | uint64(p[2])<<14, p[3:], nil
+	case len(p) >= 4 && p[3] < 0x80:
+		return uint64(p[0]&0x7F) | uint64(p[1]&0x7F)<<7 | uint64(p[2]&0x7F)<<14 | uint64(p[3])<<21, p[4:], nil
+	}
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("census: truncated or invalid uvarint")
+	}
+	return v, p[n:], nil
+}
+
+// decodeGreylistV2 parses the sorted delta-encoded greylist section.
+func decodeGreylistV2(b []byte) (*prober.Greylist, []byte, error) {
+	count, b, err := takeUvarint(b, "greylist count")
+	if err != nil {
+		return nil, nil, err
+	}
+	// Every entry needs at least 2 bytes (delta + kind).
+	if count > uint64(len(b))/2+1 {
+		return nil, nil, fmt.Errorf("census: greylist count %d exceeds payload", count)
+	}
+	snap := make(map[netsim.IP]netsim.ReplyKind, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		var delta uint64
+		delta, b, err = takeUvarint(b, "greylist delta")
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(b) < 1 {
+			return nil, nil, fmt.Errorf("census: truncated greylist kind")
+		}
+		kind := netsim.ReplyKind(b[0])
+		b = b[1:]
+		ip := prev + delta
+		if ip > 1<<32-1 {
+			return nil, nil, fmt.Errorf("census: greylist address overflows IPv4")
+		}
+		snap[netsim.IP(ip)] = kind
+		prev = ip
+	}
+	return prober.FromSnapshot(snap), b, nil
+}
+
+// putUvarint appends a uvarint to the buffer.
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+// takeUvarint consumes one uvarint from the front of b.
+func takeUvarint(b []byte, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("census: truncated or invalid %s", what)
+	}
+	return v, b[n:], nil
+}

@@ -361,3 +361,34 @@ func TestAllReportsRender(t *testing.T) {
 		}
 	}
 }
+
+// TestLabDiscardRuns pins the streaming memory contract: a lab built with
+// DiscardRuns keeps no per-round matrices yet produces a combination
+// identical to the retaining lab's.
+func TestLabDiscardRuns(t *testing.T) {
+	cfg := LabConfig{Unicast24s: 800, Censuses: 2, VPsPerCensus: []int{24, 20}, Seed: 7}
+	keep := NewLab(cfg)
+	cfg.DiscardRuns = true
+	drop := NewLab(cfg)
+
+	if drop.Runs != nil {
+		t.Fatalf("DiscardRuns lab retained %d runs", len(drop.Runs))
+	}
+	if len(keep.Runs) != 2 {
+		t.Fatalf("retaining lab kept %d runs, want 2", len(keep.Runs))
+	}
+	if len(drop.Combined.VPs) != len(keep.Combined.VPs) ||
+		len(drop.Combined.Targets) != len(keep.Combined.Targets) {
+		t.Fatal("combined shapes diverge")
+	}
+	for v := range keep.Combined.RTTus {
+		for ti, want := range keep.Combined.RTTus[v] {
+			if got := drop.Combined.RTTus[v][ti]; got != want {
+				t.Fatalf("combined cell (%d,%d) = %d, want %d", v, ti, got, want)
+			}
+		}
+	}
+	if len(drop.Findings) != len(keep.Findings) {
+		t.Fatalf("findings diverge: %d vs %d", len(drop.Findings), len(keep.Findings))
+	}
+}

@@ -35,6 +35,12 @@ type LabConfig struct {
 	VPsPerCensus []int
 	// Seed drives the whole lab.
 	Seed uint64
+	// DiscardRuns releases each round's matrix after it folds into the
+	// combination, bounding peak memory to O(one run + combined). The
+	// default (false) retains Runs, which the Fig. 4 funnel and the
+	// per-census ablations need; discard only for scale/memory studies
+	// that read nothing but Combined.
+	DiscardRuns bool
 }
 
 // DefaultLabConfig mirrors the paper's campaign at reduced unicast scale.
@@ -59,7 +65,8 @@ type Lab struct {
 	Full     *hitlist.Hitlist // before pruning
 	Hitlist  *hitlist.Hitlist // pruned per-VP target list
 	Black    *prober.Greylist
-	Runs     []*census.Run
+	Runs     []*census.Run // individual rounds; nil when Config.DiscardRuns
+
 	Combined *census.Combined
 	Outcomes []census.Outcome
 	Findings []analysis.Finding
@@ -106,17 +113,23 @@ func NewLab(cfg LabConfig) *Lab {
 	l.Black = black
 	l.Hitlist = l.Full.PruneNeverAlive().Without(l.Black.Targets())
 
+	// Rounds stream through a Campaign: each census folds into the
+	// combined minimum-RTT matrix as it finishes, and (with DiscardRuns)
+	// its rows are released right away. The fold is byte-identical to the
+	// batch Combine of the same rounds.
+	cp := census.NewCampaign(census.CampaignConfig{
+		Census:     census.Config{Seed: cfg.Seed},
+		RetainRuns: !cfg.DiscardRuns,
+	})
 	for round := 0; round < cfg.Censuses; round++ {
 		vps := l.PL.Sample(cfg.VPsPerCensus[round], cfg.Seed+uint64(round))
 		run := census.Execute(l.World, vps, l.Hitlist, l.Black, uint64(round+1), census.Config{Seed: cfg.Seed})
-		l.Runs = append(l.Runs, run)
+		if err := cp.FoldRun(run); err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
 	}
-
-	combined, err := census.Combine(l.Runs...)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
-	l.Combined = combined
+	l.Runs = cp.Runs()
+	l.Combined = cp.Combined()
 	l.Outcomes = census.AnalyzeAll(l.Cities, l.Combined, core.Options{}, 2, 0)
 	l.Findings = analysis.Attribute(l.Outcomes, l.Table)
 	return l

@@ -54,6 +54,9 @@ type vpSession struct {
 	// math.Float64bits, filled lazily on first probe; 0 means unset (a
 	// real base is always > 0.3 ms). Writes are idempotent - every
 	// writer stores the same bits - so racing probes need only atomicity.
+	// nil when the world exceeds Config.UniBaseCacheCap: bases are then
+	// recomputed per probe so session memory stays O(deployments), not
+	// O(unicast /24s), per vantage point.
 	uniBase []uint64
 }
 
@@ -89,7 +92,9 @@ func (w *World) session(vp platform.VP) *vpSession {
 func (w *World) buildSession(s *vpSession, vp platform.VP) {
 	s.vpAccess = w.vpAccessMs(vp)
 	s.cands = make([]candSet, len(w.deployments))
-	s.uniBase = make([]uint64, len(w.unicast))
+	if len(w.unicast) <= w.cfg.uniBaseCacheCap() {
+		s.uniBase = make([]uint64, len(w.unicast))
+	}
 
 	asDist := make(map[int][]float64, len(w.anycastByASN))
 	for di, d := range w.deployments {
@@ -158,8 +163,13 @@ func (w *World) servingRank(c *candSet, vp platform.VP, d *Deployment, round uin
 }
 
 // unicastBaseMs returns the memoized RTT base toward the unicast host's
-// home location, computing and publishing it on first use.
+// home location, computing and publishing it on first use. Above the
+// UniBaseCacheCap there is no memo and every call recomputes — the exact
+// same expression, so replies stay bit-identical either way.
 func (w *World) unicastBaseMs(s *vpSession, vp platform.VP, uidx int32, h *unicastHost, p Prefix24) float64 {
+	if s.uniBase == nil {
+		return w.rttBaseMsDist(vp, uint64(p), geo.DistanceKm(vp.Loc, h.loc), 0, s.vpAccess)
+	}
 	if bits := atomic.LoadUint64(&s.uniBase[uidx]); bits != 0 {
 		return math.Float64frombits(bits)
 	}

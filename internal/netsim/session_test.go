@@ -150,3 +150,35 @@ func TestSessionSharedAcrossFaultViews(t *testing.T) {
 		t.Fatal("warmed session not visible through the fault view")
 	}
 }
+
+// TestUniBaseCapBitIdentical pins the bounded-memory contract: a world
+// whose unicast base memo is capped out recomputes every base, yet every
+// reply stays bit-identical to the fully-memoized world's.
+func TestUniBaseCapBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Unicast24s = 600
+	full := New(cfg)
+	cfg.UniBaseCacheCap = -1 // memo off at any size
+	capped := New(cfg)
+	vps := sessionTestVPs()
+
+	var targets []IP
+	full.Prefixes(func(p Prefix24) {
+		if ip, _ := full.Representative(p); ip != 0 {
+			targets = append(targets, ip)
+		}
+	})
+
+	for _, vp := range vps[:6] {
+		fp, cp := full.ProbeSession(vp), capped.ProbeSession(vp)
+		for _, target := range targets {
+			for round := uint64(1); round <= 2; round++ {
+				got, want := cp.ICMP(target, round), fp.ICMP(target, round)
+				if got != want {
+					t.Fatalf("ICMP vp=%s target=%v round=%d: capped %+v, memoized %+v",
+						vp.Name, target, round, got, want)
+				}
+			}
+		}
+	}
+}

@@ -77,6 +77,31 @@ type Config struct {
 	// tests compare the two); the switch exists for those tests and for
 	// memory-constrained callers.
 	DisableProbeCache bool
+
+	// UniBaseCacheCap bounds the per-(VP, /24) unicast RTT-base memo,
+	// which costs 8 bytes per unicast /24 per probing VP (at 250k /24s and
+	// ~300 VPs that is ~600 MB). Worlds with more unicast /24s than the
+	// cap skip that memo — each unicast probe recomputes its base, bit for
+	// bit the same value — while the catchment cache stays on. 0 means
+	// DefaultUniBaseCacheCap; negative disables the memo at any size.
+	UniBaseCacheCap int
+}
+
+// DefaultUniBaseCacheCap keeps the unicast base memo on for every world up
+// to ~131k unicast /24s (≤ ~1 MB per probing VP, covering the default 66k
+// world) and off beyond, where streaming campaigns need the memory for the
+// matrices instead.
+const DefaultUniBaseCacheCap = 1 << 17
+
+// uniBaseCacheCap resolves the cap; see UniBaseCacheCap.
+func (c Config) uniBaseCacheCap() int {
+	switch {
+	case c.UniBaseCacheCap > 0:
+		return c.UniBaseCacheCap
+	case c.UniBaseCacheCap < 0:
+		return 0
+	}
+	return DefaultUniBaseCacheCap
 }
 
 // DefaultConfig returns the configuration used throughout the benchmarks.

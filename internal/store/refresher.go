@@ -192,39 +192,38 @@ func (cs *CensusSource) vpsPerRound() int {
 func (cs *CensusSource) SetRound(n uint64) { cs.round.Store(n) }
 
 // Build implements Source: it advances the global census round counter,
-// probes, combines, analyzes, and indexes. Per-VP probing errors do not
-// abort the campaign; they are returned alongside the snapshot so the
-// caller can publish the partial result and still surface the problem.
+// probes, folds, analyzes, and indexes. Rounds stream through a
+// census.Campaign — each finished round folds into the combined matrix and
+// its rows are released, so a refresh holds one run plus the combination
+// no matter how many rounds a snapshot aggregates. Per-VP probing errors
+// do not abort the campaign; they are returned alongside the snapshot so
+// the caller can publish the partial result and still surface the problem.
 func (cs *CensusSource) Build(ctx context.Context) (*Snapshot, error) {
-	var runs []*census.Run
+	cfg := cs.Census
+	cfg.Seed = cs.Seed
+	cp := census.NewCampaign(census.CampaignConfig{Census: cfg})
 	var degraded error
 	var last uint64
-	var health census.CampaignHealth
 	for i := 0; i < cs.rounds(); i++ {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		last = cs.round.Add(1)
 		vps := cs.Platform.Sample(cs.vpsPerRound(), cs.Seed+last)
-		cfg := cs.Census
-		cfg.Seed = cs.Seed
-		run, err := census.ExecuteContext(ctx, cs.World, vps, cs.Hitlist, cs.Blacklist, last, cfg)
-		if err != nil {
+		if _, err := cp.ExecuteRound(ctx, cs.World, vps, cs.Hitlist, cs.Blacklist, last); err != nil {
 			if ctx.Err() != nil {
 				return nil, err
 			}
 			degraded = err
 		}
-		health.Add(run.Health)
-		runs = append(runs, run)
 	}
-	combined, err := census.Combine(runs...)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+	combined := cp.Combined()
+	if combined == nil {
+		return nil, fmt.Errorf("store: no census rounds ran")
 	}
 	outcomes := census.AnalyzeAll(cs.Cities, combined, core.Options{}, cs.MinSamples, 0)
 	findings := analysis.Attribute(outcomes, cs.Table)
-	snap := NewSnapshot(findings, cs.Registry, last, len(runs))
-	snap.SetHealth(health)
+	snap := NewSnapshot(findings, cs.Registry, last, cs.rounds())
+	snap.SetHealth(cp.Health())
 	return snap, degraded
 }
