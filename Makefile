@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify clean bench bench-smoke bench-json stream-smoke profile
+.PHONY: all build vet test race verify clean bench bench-smoke bench-json stream-smoke analyze-smoke profile
 
 all: verify
 
@@ -34,7 +34,7 @@ bench-smoke:
 
 # bench-json regenerates the committed benchmark trajectory point.
 bench-json:
-	$(GO) run ./cmd/benchreport -exp none -benchjson BENCH_4.json
+	$(GO) run ./cmd/benchreport -exp none -benchjson BENCH_5.json
 
 # stream-smoke proves the streaming data path's memory bound: a 150k-/24
 # campaign (above netsim.DefaultUniBaseCacheCap, so the per-VP unicast
@@ -44,6 +44,14 @@ bench-json:
 # or dies here instead of shipping.
 stream-smoke:
 	GOMEMLIMIT=360MiB $(GO) run ./cmd/census -unicast24s 150000
+
+# analyze-smoke proves the incremental analysis engine's bit-identity
+# contract on a live campaign: each round's dirty targets are analyzed
+# (with cached detection certificates) while the next round probes, and
+# -verify-analysis re-runs the batch AnalyzeAll at the end and fails
+# unless the outcomes match exactly.
+analyze-smoke:
+	$(GO) run ./cmd/census -unicast24s 20000 -censuses 3 -verify-analysis
 
 # profile captures CPU and heap profiles of a full census run; inspect
 # with `go tool pprof cpu.pprof`.

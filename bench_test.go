@@ -116,7 +116,7 @@ func BenchmarkFig11_CategoryBreakdown(b *testing.B) {
 	l := lab(b)
 	for i := 0; i < b.N; i++ {
 		r := l.Fig11()
-		if r.Breakdown["DNS"] == 0 {
+		if r.Share("DNS") == 0 {
 			b.Fatal("no DNS share")
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"anycastmap/internal/analysis"
@@ -18,6 +19,7 @@ import (
 	"anycastmap/internal/cities"
 	"anycastmap/internal/core"
 	"anycastmap/internal/experiments"
+	"anycastmap/internal/geo"
 	"anycastmap/internal/hitlist"
 	"anycastmap/internal/netsim"
 	"anycastmap/internal/platform"
@@ -103,6 +105,38 @@ type codecBench struct {
 	SpeedupEncodeDecode float64 `json:"speedup_encode_decode"`
 }
 
+// analyzeAllBench compares the static-chunk analysis partitioning (each
+// worker owns one contiguous 1/workers slice of the target list — idle as
+// soon as its slice runs dry) against the work-stealing loop that replaced
+// it, over the same combined matrix.
+type analyzeAllBench struct {
+	VPs         int     `json:"vps"`
+	Targets     int     `json:"targets"`
+	Workers     int     `json:"workers"`
+	StaticNs    float64 `json:"static_chunk_ns_op"`
+	WorkStealNs float64 `json:"work_stealing_ns_op"`
+	Speedup     float64 `json:"speedup"`
+	Anycast24s  int     `json:"anycast_24s"`
+}
+
+// incrementalBench is the longitudinal re-analysis workload (Sec. 3.2: one
+// full census, then monthly patch rounds re-probing only the churned
+// slice of targets): the combination is analyzed after every round both
+// ways — batch (re-Combine all rounds + AnalyzeAll from scratch) and
+// incremental (fold + dirty-set analysis with cached detection
+// certificates) — with the per-round outcomes verified equal.
+type incrementalBench struct {
+	Rounds           int       `json:"rounds"`
+	VPs              int       `json:"vps_per_round"`
+	Targets          int       `json:"targets"`
+	DirtyFractions   []float64 `json:"dirty_fraction_per_round"`
+	BatchWallS       float64   `json:"batch_wall_s"`
+	IncrementalWallS float64   `json:"incremental_wall_s"`
+	Speedup          float64   `json:"speedup"`
+	CertHitRate      float64   `json:"cert_hit_rate"`
+	Agree            bool      `json:"outcomes_agree"`
+}
+
 type benchReport struct {
 	Bench    string `json:"bench"`
 	Go       string `json:"go"`
@@ -127,6 +161,12 @@ type benchReport struct {
 	Stream *streamBench `json:"stream_campaign,omitempty"`
 	// Codec compares v2 columnar run persistence against legacy gob+flate.
 	Codec *codecBench `json:"run_codec,omitempty"`
+	// AnalyzeAll compares static-chunk vs work-stealing analysis
+	// partitioning.
+	AnalyzeAll *analyzeAllBench `json:"analyze_all,omitempty"`
+	// Incremental is the longitudinal re-analysis workload, batch vs
+	// incremental.
+	Incremental *incrementalBench `json:"incremental_analysis,omitempty"`
 }
 
 // seedBaseline holds the pre-streaming numbers: the BENCH_3 "current"
@@ -208,6 +248,21 @@ func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration,
 	} else {
 		fmt.Printf("skipped (no retained runs)\n")
 	}
+
+	fmt.Printf("bench: analyze-all partitioning (static chunks vs work stealing) ... ")
+	rep.AnalyzeAll = measureAnalyzeAll(lab)
+	if rep.AnalyzeAll != nil {
+		fmt.Printf("%.2fs vs %.2fs, %.2fx\n",
+			rep.AnalyzeAll.StaticNs/1e9, rep.AnalyzeAll.WorkStealNs/1e9, rep.AnalyzeAll.Speedup)
+	} else {
+		fmt.Printf("skipped (paths disagree or nothing detected)\n")
+	}
+
+	fmt.Printf("bench: longitudinal re-analysis (batch vs incremental) ... ")
+	rep.Incremental = measureIncremental(lab, 6, 200)
+	fmt.Printf("%.1fs vs %.1fs, %.2fx, cert hit rate %.0f%%, agree=%v\n",
+		rep.Incremental.BatchWallS, rep.Incremental.IncrementalWallS,
+		rep.Incremental.Speedup, 100*rep.Incremental.CertHitRate, rep.Incremental.Agree)
 
 	if streamUnicast > 0 {
 		fmt.Printf("bench: streaming campaign at %d unicast /24s ... ", streamUnicast)
@@ -432,6 +487,122 @@ func measureStreamCampaign(unicast int, seed uint64) *streamBench {
 		PeakHeapBounded:     peak < dense,
 		Anycast24s:          len(findings),
 	}
+}
+
+// analyzeAllStatic is the pre-change AnalyzeAll: workers own contiguous
+// 1/workers chunks of the target list, so a worker whose chunk holds only
+// cheap unicast targets idles while the anycast-dense chunks finish. Kept
+// here verbatim (over the exported census/core API) as the comparison
+// baseline for the work-stealing loop.
+func analyzeAllStatic(db *cities.DB, c *census.Combined, opt core.Options, minSamples, workers int) []census.Outcome {
+	if minSamples < 2 {
+		minSamples = 2
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	idx := cities.NewIndex(db, 10)
+	nVP := len(c.VPs)
+	vpDist := make([]float64, nVP*nVP)
+	for i := 0; i < nVP; i++ {
+		for j := i + 1; j < nVP; j++ {
+			d := geo.DistanceKm(c.VPs[i].Loc, c.VPs[j].Loc)
+			vpDist[i*nVP+j], vpDist[j*nVP+i] = d, d
+		}
+	}
+	results := make([]*core.Result, len(c.Targets))
+	var wg sync.WaitGroup
+	chunk := (len(c.Targets) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(c.Targets) {
+			hi = len(c.Targets)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ms := make([]core.Measurement, 0, nVP)
+			vpIdx := make([]int, 0, nVP)
+			dist := core.CenterDist(func(a, b int) float64 {
+				return vpDist[vpIdx[a]*nVP+vpIdx[b]]
+			})
+			for t := lo; t < hi; t++ {
+				ms, vpIdx = c.AppendMeasurements(t, ms[:0], vpIdx[:0])
+				if len(ms) < minSamples {
+					continue
+				}
+				r := core.AnalyzeWithDist(idx, ms, dist, opt)
+				if r.Anycast {
+					results[t] = &r
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	var out []census.Outcome
+	for t, r := range results {
+		if r != nil {
+			out = append(out, census.Outcome{Target: c.Targets[t], Result: *r})
+		}
+	}
+	return out
+}
+
+// measureAnalyzeAll times both partitionings over the lab's combined
+// matrix and checks they agree.
+func measureAnalyzeAll(lab *experiments.Lab) *analyzeAllBench {
+	c := lab.Combined
+	workers := runtime.GOMAXPROCS(0)
+	// Warm both paths once, checking agreement while at it.
+	steal := census.AnalyzeAll(lab.Cities, c, core.Options{}, 2, workers)
+	static := analyzeAllStatic(lab.Cities, c, core.Options{}, 2, workers)
+	if len(steal) == 0 || len(steal) != len(static) {
+		return nil
+	}
+	const reps = 3
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		census.AnalyzeAll(lab.Cities, c, core.Options{}, 2, workers)
+	}
+	stealNs := float64(time.Since(t0).Nanoseconds()) / reps
+	t0 = time.Now()
+	for i := 0; i < reps; i++ {
+		analyzeAllStatic(lab.Cities, c, core.Options{}, 2, workers)
+	}
+	staticNs := float64(time.Since(t0).Nanoseconds()) / reps
+	return &analyzeAllBench{
+		VPs:         len(c.VPs),
+		Targets:     len(c.Targets),
+		Workers:     workers,
+		StaticNs:    staticNs,
+		WorkStealNs: stealNs,
+		Speedup:     staticNs / stealNs,
+		Anycast24s:  len(steal),
+	}
+}
+
+// measureIncremental runs the longitudinal re-analysis workload through
+// experiments.LongitudinalCampaign.
+func measureIncremental(lab *experiments.Lab, rounds, vps int) *incrementalBench {
+	r := lab.LongitudinalCampaign(rounds, vps)
+	out := &incrementalBench{
+		Rounds:           len(r.Rounds),
+		VPs:              vps,
+		Targets:          r.Targets,
+		BatchWallS:       r.BatchWall.Seconds(),
+		IncrementalWallS: r.IncrementalWall.Seconds(),
+		Speedup:          r.Speedup,
+		CertHitRate:      r.CertHitRate,
+		Agree:            r.Agree,
+	}
+	for _, rd := range r.Rounds {
+		out.DirtyFractions = append(out.DirtyFractions, rd.DirtyFraction)
+	}
+	return out
 }
 
 // measureCodec times v2 columnar and legacy gob+flate save/load of the

@@ -31,7 +31,7 @@ func main() {
 	censuses := flag.Int("censuses", 4, "number of census rounds")
 	seed := flag.Uint64("seed", 2015, "world seed")
 	csvDir := flag.String("csv", "", "export the figure data series as CSV files to this directory")
-	expList := flag.String("exp", "all", "comma-separated experiments: table1,fig4..fig16,coverage,opendns,ablate-vps,ablate-rate,ablate-iter,ablate-mis,fusion,longitudinal,baselines,ripe (or: none)")
+	expList := flag.String("exp", "all", "comma-separated experiments: table1,fig4..fig16,coverage,opendns,ablate-vps,ablate-rate,ablate-iter,ablate-mis,fusion,longitudinal,longitudinal-campaign,baselines,ripe (or: none)")
 	benchJSON := flag.String("benchjson", "", "measure the benchmark trajectory and write it to this JSON file")
 	streamUnicast := flag.Int("stream-unicast24s", 250_000, "unicast /24 scale of the -benchjson streaming-campaign headline (0 skips it)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -123,6 +123,7 @@ func main() {
 		{"ablate-mis", func() string { return lab.AblateMIS(50).Report() }},
 		{"fusion", func() string { return lab.FusePlatforms(25).Report() }},
 		{"longitudinal", func() string { return lab.Longitudinal(4, 261).Report() }},
+		{"longitudinal-campaign", func() string { return lab.LongitudinalCampaign(4, 200).Report() }},
 		{"baselines", func() string { return lab.Baselines(60).Report() }},
 		{"ripe", func() string { return lab.RIPECensus().Report() }},
 	}

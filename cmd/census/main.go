@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -44,6 +45,9 @@ func main() {
 	stream := flag.Bool("stream", true, "fold each census into the combined matrix as it completes (peak memory stays O(one run + combined)); -stream=false retains every round and batch-combines at the end")
 	shardTargets := flag.Int("shard-targets", 0, "fold work-unit width in targets (0 = auto)")
 	foldWorkers := flag.Int("fold-workers", 0, "goroutines folding a finished round (0 = GOMAXPROCS)")
+	incremental := flag.Bool("incremental", true, "analyze each round's dirty targets while the next round probes (needs -stream); -incremental=false analyzes once at the end")
+	analyzeWorkers := flag.Int("analyze-workers", 0, "goroutines analyzing targets (0 = GOMAXPROCS)")
+	verifyAnalysis := flag.Bool("verify-analysis", false, "after an incremental campaign, re-run the batch analysis and fail unless the outcomes match bit for bit")
 	retries := flag.Int("retries", 3, "per-VP probing attempts per census round (1 disables retrying)")
 	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "base backoff before retrying a failed VP (doubles per retry)")
 	faultSeed := flag.Uint64("fault-seed", 0, "fault plan seed (0 = world seed)")
@@ -169,17 +173,36 @@ func main() {
 		RetainRuns:   !*stream,
 		OnRun:        saveRun,
 	})
-	for round := 1; round <= *rounds; round++ {
-		vps := pl.Sample(*vpsPer, *seed+uint64(round))
-		sum, err := cp.ExecuteRound(context.Background(), world, vps, targets, black, uint64(round))
+	useIncremental := *incremental && *stream
+	if *incremental && !*stream {
+		log.Printf("-incremental needs -stream; falling back to end-of-campaign analysis")
+	}
+	onRound := func(sum census.RoundSummary, err error) {
 		if err != nil {
-			log.Printf("census %d: probing errors (partial rows kept): %v", round, err)
+			log.Printf("census %d: probing errors (partial rows kept): %v", sum.Round, err)
 		}
 		log.Printf("census %d: %d VPs, %d probes, %d echo targets, %d greylisted (%v)",
-			round, sum.VPs, sum.Probes, sum.EchoTargets, sum.GreylistLen,
+			sum.Round, sum.VPs, sum.Probes, sum.EchoTargets, sum.GreylistLen,
 			sum.Duration.Round(time.Millisecond))
 		if sum.Health.Retries > 0 || sum.Health.Degraded() {
-			log.Printf("census %d health: %s", round, sum.Health)
+			log.Printf("census %d health: %s", sum.Round, sum.Health)
+		}
+	}
+	if useIncremental {
+		// Each round's dirty targets are analyzed while the next round
+		// probes; per-round errors are surfaced by onRound as they happen.
+		cp.AttachAnalyzer(census.NewAnalyzer(db, census.AnalyzerConfig{Workers: *analyzeWorkers}))
+		if err := cp.ExecuteRoundsOverlapped(context.Background(), world, targets, black,
+			1, *rounds, func(round uint64) []platform.VP {
+				return pl.Sample(*vpsPer, *seed+round)
+			}, onRound); err != nil {
+			log.Printf("campaign: %v", err)
+		}
+	} else {
+		for round := 1; round <= *rounds; round++ {
+			vps := pl.Sample(*vpsPer, *seed+uint64(round))
+			sum, err := cp.ExecuteRound(context.Background(), world, vps, targets, black, uint64(round))
+			onRound(sum, err)
 		}
 	}
 	if cp.Health().Degraded() {
@@ -208,11 +231,32 @@ func main() {
 	if combined == nil {
 		log.Fatal("no census rounds ran")
 	}
+	var outcomes []census.Outcome
+	var analysisWall time.Duration
+	if useIncremental {
+		outcomes = cp.Outcomes()
+		analysisWall = cp.AnalysisWall()
+		st := cp.Analyzer().Stats()
+		log.Printf("incremental analysis: %d updates, last dirty %d, %d target analyses, cert hit rate %.0f%% (%d hits, %d full scans)",
+			st.Updates, st.LastDirty, st.Analyzed, 100*st.CertHitRate(), st.CertHits, st.FullScans)
+		if *verifyAnalysis {
+			batch := census.AnalyzeAll(db, combined, core.Options{}, 2, *analyzeWorkers)
+			if !reflect.DeepEqual(outcomes, batch) {
+				log.Fatalf("verify-analysis: incremental outcomes (%d anycast /24s) diverge from batch AnalyzeAll (%d)",
+					len(outcomes), len(batch))
+			}
+			log.Printf("verify-analysis: incremental == batch (%d anycast /24s)", len(outcomes))
+		}
+	} else {
+		t0 := time.Now()
+		outcomes = census.AnalyzeAll(db, combined, core.Options{}, 2, *analyzeWorkers)
+		analysisWall = time.Since(t0)
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	log.Printf("heap after campaign: %.1f MiB in use, %.1f MiB from OS, %d GC cycles",
-		float64(ms.HeapAlloc)/(1<<20), float64(ms.Sys)/(1<<20), ms.NumGC)
-	outcomes := census.AnalyzeAll(db, combined, core.Options{}, 2, 0)
+	log.Printf("heap after campaign: %.1f MiB in use, %.1f MiB from OS, %d GC cycles; analysis wall %v",
+		float64(ms.HeapAlloc)/(1<<20), float64(ms.Sys)/(1<<20), ms.NumGC,
+		analysisWall.Round(time.Millisecond))
 	findings := analysis.Attribute(outcomes, table)
 	g := analysis.GlanceOf(findings)
 	log.Printf("combined: %d anycast /24s across %d ASes, %d replicas in %d cities / %d countries",

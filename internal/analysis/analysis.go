@@ -169,11 +169,16 @@ func PerAS(fs []Finding, reg *asdb.Registry) []ASStat {
 		st.Cities = len(citySet)
 		out = append(out, st)
 	}
+	// Total order with explicit tie-breaks: mean desc, then ASN asc, then
+	// name asc — output diffs are stable run to run.
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].MeanReplicas != out[j].MeanReplicas {
 			return out[i].MeanReplicas > out[j].MeanReplicas
 		}
-		return out[i].AS.ASN < out[j].AS.ASN
+		if out[i].AS.ASN != out[j].AS.ASN {
+			return out[i].AS.ASN < out[j].AS.ASN
+		}
+		return out[i].AS.Name < out[j].AS.Name
 	})
 	return out
 }
@@ -203,9 +208,17 @@ func SubnetsPerAS(fs []Finding) []float64 {
 	return out
 }
 
+// CategoryShare is one category's fraction of the distinct-AS set.
+type CategoryShare struct {
+	Category string
+	Share    float64
+}
+
 // CategoryBreakdown computes the Fig. 11 coarse-category shares over the
-// distinct ASes of the findings.
-func CategoryBreakdown(fs []Finding, reg *asdb.Registry) map[string]float64 {
+// distinct ASes of the findings, sorted by share descending with the
+// category name as tie-break — a fully deterministic ordering, unlike
+// the map it aggregates from.
+func CategoryBreakdown(fs []Finding, reg *asdb.Registry) []CategoryShare {
 	seen := map[int]bool{}
 	var ases []asdb.AS
 	for _, f := range fs {
@@ -217,7 +230,18 @@ func CategoryBreakdown(fs []Finding, reg *asdb.Registry) map[string]float64 {
 			ases = append(ases, a)
 		}
 	}
-	return asdb.CategoryBreakdown(ases)
+	bd := asdb.CategoryBreakdown(ases)
+	out := make([]CategoryShare, 0, len(bd))
+	for cat, share := range bd {
+		out = append(out, CategoryShare{Category: cat, Share: share})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out
 }
 
 // ScanSummary aggregates a portscan campaign (the Fig. 14 header row).
@@ -371,7 +395,15 @@ func SoftwareBreakdown(camp *portscan.Campaign, table *bgp.Table) []SoftwareCoun
 			bySW[p.Software][asn] = true
 		}
 	}
+	// An unlisted category must not collide with DNS's rank 0: unknown
+	// categories sort last, alphabetically, keeping the order total.
 	catRank := map[string]int{"DNS": 0, "Web": 1, "Mail": 2, "Other": 3}
+	rank := func(cat string) int {
+		if r, ok := catRank[cat]; ok {
+			return r
+		}
+		return len(catRank)
+	}
 	out := make([]SoftwareCount, 0, len(bySW))
 	for sw, ases := range bySW {
 		out = append(out, SoftwareCount{
@@ -381,9 +413,12 @@ func SoftwareBreakdown(camp *portscan.Campaign, table *bgp.Table) []SoftwareCoun
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		ci, cj := catRank[out[i].Category], catRank[out[j].Category]
+		ci, cj := rank(out[i].Category), rank(out[j].Category)
 		if ci != cj {
 			return ci < cj
+		}
+		if out[i].Category != out[j].Category {
+			return out[i].Category < out[j].Category
 		}
 		if out[i].ASes != out[j].ASes {
 			return out[i].ASes > out[j].ASes

@@ -150,15 +150,25 @@ func TestDistributionInputs(t *testing.T) {
 func TestCategoryBreakdown(t *testing.T) {
 	fs := syntheticFindings(t)
 	bd := CategoryBreakdown(fs, reg)
-	if bd["CDN"] == 0 || bd["ISP"] == 0 {
-		t.Errorf("breakdown = %v", bd)
-	}
+	shares := map[string]float64{}
 	var sum float64
-	for _, v := range bd {
-		sum += v
+	for _, cs := range bd {
+		shares[cs.Category] = cs.Share
+		sum += cs.Share
+	}
+	if shares["CDN"] == 0 || shares["ISP"] == 0 {
+		t.Errorf("breakdown = %v", bd)
 	}
 	if sum < 0.999 || sum > 1.001 {
 		t.Errorf("breakdown sums to %v", sum)
+	}
+	// The ordering contract: share descending, category name breaking
+	// ties.
+	for i := 1; i < len(bd); i++ {
+		if bd[i].Share > bd[i-1].Share ||
+			(bd[i].Share == bd[i-1].Share && bd[i].Category < bd[i-1].Category) {
+			t.Errorf("breakdown not sorted at %d: %v", i, bd)
+		}
 	}
 }
 

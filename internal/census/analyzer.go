@@ -1,0 +1,316 @@
+package census
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"anycastmap/internal/cities"
+	"anycastmap/internal/core"
+	"anycastmap/internal/geo"
+)
+
+// This file is the incremental analysis engine. The paper re-analyzes
+// every responsive /24 per monthly census (Sec. 3, Fig. 4) yet finds the
+// anycast set largely stable month to month (Sec. 3.2) — so re-running
+// the full O(targets × VPs²) detection from scratch after every round
+// mostly re-derives last round's answers. An Analyzer instead keeps, per
+// target, the last result and the detection certificate that decided it
+// (internal/core/certificate.go): after a round folds, only the targets
+// whose combined min-RTT row changed (the campaign's dirty set) are
+// re-analyzed, and for those the cached certificate is revalidated in
+// O(n) before any sorting pairwise scan runs. Outcomes are bit-identical
+// to batch AnalyzeAll at every round — TestCensusDeterminism pins it.
+
+// AnalyzerConfig tunes an incremental Analyzer.
+type AnalyzerConfig struct {
+	// Options tunes the per-target core analysis.
+	Options core.Options
+	// MinSamples is the vantage-point coverage below which a target is
+	// not analyzed; values below 2 mean 2 (matching AnalyzeAll).
+	MinSamples int
+	// Workers bounds the analysis goroutines; zero means GOMAXPROCS.
+	Workers int
+}
+
+func (c AnalyzerConfig) minSamples() int {
+	if c.MinSamples < 2 {
+		return 2
+	}
+	return c.MinSamples
+}
+
+func (c AnalyzerConfig) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// certEntry caches one target's detection certificate addressed by
+// vantage-point slot (row index in Combined.VPs), not measurement
+// position: a VP newly answering a target inserts a measurement
+// mid-sequence, shifting positions, while slots are stable for the life
+// of a campaign.
+type certEntry struct {
+	kind core.CertKind
+	a, b int32
+}
+
+// AnalyzerStats counts what the incremental engine did, for surfacing in
+// heap reports and benchmark blocks.
+type AnalyzerStats struct {
+	// Updates is the number of Update calls (analysis rounds).
+	Updates int
+	// Analyzed is the total number of target analyses across all updates.
+	Analyzed int64
+	// CertHits counts analyses decided by revalidating the cached
+	// certificate, skipping the full detection pass.
+	CertHits int64
+	// FullScans counts analyses that paid the full detection pass (no
+	// cached certificate, or revalidation was inconclusive).
+	FullScans int64
+	// LastDirty is the dirty-set size of the most recent update.
+	LastDirty int
+}
+
+// CertHitRate is the fraction of analyses decided by a cached
+// certificate.
+func (s AnalyzerStats) CertHitRate() float64 {
+	if s.Analyzed == 0 {
+		return 0
+	}
+	return float64(s.CertHits) / float64(s.Analyzed)
+}
+
+// Analyzer re-analyzes a streaming campaign's combined matrix
+// incrementally: Update(c, dirty) refreshes only the dirty targets,
+// reusing the spatial city index, the VP-pair distance matrix, cached
+// per-target results and detection certificates across rounds. The zero
+// value is not usable; construct with NewAnalyzer. An Analyzer is not
+// safe for concurrent Update calls.
+//
+// The contract with the caller: across Update calls the Combined must
+// keep the same target list, vantage points may only be appended, and
+// every target whose measurement set changed in any way must appear in
+// dirty. Campaign.AnalyzeDirty maintains exactly this.
+type Analyzer struct {
+	db  *cities.DB
+	cfg AnalyzerConfig
+
+	idx    *cities.Index
+	c      *Combined
+	vpDist []float64
+	nVP    int
+
+	results []*core.Result
+	certs   []certEntry
+
+	stats AnalyzerStats
+}
+
+// NewAnalyzer returns an empty incremental analyzer over the city
+// database.
+func NewAnalyzer(db *cities.DB, cfg AnalyzerConfig) *Analyzer {
+	return &Analyzer{db: db, cfg: cfg}
+}
+
+// Stats returns the cumulative engine counters.
+func (a *Analyzer) Stats() AnalyzerStats { return a.stats }
+
+// Update re-analyzes the dirty targets (unique indices into c.Targets)
+// against the current combined matrix. The first call must list every
+// target that has samples (a campaign's first fold dirties exactly
+// those); an empty or nil dirty set re-analyzes nothing.
+func (a *Analyzer) Update(c *Combined, dirty []int) {
+	a.bind(c)
+	a.run(dirty, false, true)
+	a.stats.Updates++
+	a.stats.LastDirty = len(dirty)
+}
+
+// Outcomes returns the current analysis outcome of every anycast target,
+// in target order — exactly what AnalyzeAll over the same combined
+// matrix returns.
+func (a *Analyzer) Outcomes() []Outcome {
+	var out []Outcome
+	for t, r := range a.results {
+		if r != nil {
+			out = append(out, Outcome{Target: a.c.Targets[t], Result: *r})
+		}
+	}
+	return out
+}
+
+// bind points the analyzer at the (possibly grown) combined matrix,
+// extending the per-target state and the VP distance matrix as needed.
+func (a *Analyzer) bind(c *Combined) {
+	a.c = c
+	if a.idx == nil {
+		// One spatial index shared by every worker and every round:
+		// classification is the inner loop of the analysis.
+		a.idx = cities.NewIndex(a.db, 10)
+	}
+	if len(c.Targets) > len(a.results) {
+		results := make([]*core.Result, len(c.Targets))
+		copy(results, a.results)
+		a.results = results
+		certs := make([]certEntry, len(c.Targets))
+		copy(certs, a.certs)
+		a.certs = certs
+	}
+	if nVP := len(c.VPs); nVP != a.nVP {
+		// Every disk the detector sees is centered at a vantage point, so
+		// one VP-pair distance matrix replaces the per-target haversines
+		// that dominate detection. The matrix is row-major with stride
+		// nVP, so VP growth recomputes it whole — ~90k haversines for
+		// ~300 VPs, amortized over every round and target.
+		a.nVP = nVP
+		a.vpDist = make([]float64, nVP*nVP)
+		for i := 0; i < nVP; i++ {
+			for j := i + 1; j < nVP; j++ {
+				d := geo.DistanceKm(c.VPs[i].Loc, c.VPs[j].Loc)
+				a.vpDist[i*nVP+j], a.vpDist[j*nVP+i] = d, d
+			}
+		}
+	}
+}
+
+// run analyzes the listed targets (every target when all is set; list is
+// then ignored) with a work-stealing worker pool: anycast targets cost
+// orders of magnitude more than certified-unicast rejects, so workers
+// pull small batches from a shared atomic cursor instead of owning
+// static chunks. useCerts wires the certificate cache; AnalyzeAll's
+// one-shot path disables it.
+func (a *Analyzer) run(list []int, all, useCerts bool) {
+	n := len(list)
+	if all {
+		list, n = nil, len(a.c.Targets)
+	}
+	if n == 0 {
+		return
+	}
+	workers := a.cfg.workers()
+	if workers > n {
+		workers = n
+	}
+	// Batches big enough to keep cursor traffic negligible, small enough
+	// that a straggler batch holds at most ~1/64 of one worker's share.
+	grain := n / (workers * 64)
+	if grain < 1 {
+		grain = 1
+	} else if grain > 128 {
+		grain = 128
+	}
+	var analyzed, hits, scans atomic.Int64
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var nAnalyzed, nHits, nScans int64
+			ms := make([]core.Measurement, 0, a.nVP)
+			vpIdx := make([]int, 0, a.nVP)
+			disks := make([]geo.Disk, 0, a.nVP)
+			// dist closes over vpIdx (reassigned per target):
+			// measurement i maps to vantage point vpIdx[i].
+			nVP := a.nVP
+			dist := core.CenterDist(func(i, j int) float64 {
+				return a.vpDist[vpIdx[i]*nVP+vpIdx[j]]
+			})
+			for {
+				lo := int(cursor.Add(int64(grain))) - grain
+				if lo >= n {
+					break
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for k := lo; k < hi; k++ {
+					t := k
+					if list != nil {
+						t = list[k]
+					}
+					ms, vpIdx = a.c.AppendMeasurements(t, ms[:0], vpIdx[:0])
+					if len(ms) < a.cfg.minSamples() {
+						a.results[t] = nil
+						a.certs[t] = certEntry{}
+						continue
+					}
+					nAnalyzed++
+					disks = core.AppendDisks(disks[:0], ms)
+					var cert core.Certificate
+					anycast, decided := false, false
+					if useCerts {
+						if pc, ok := a.certToPositions(a.certs[t], vpIdx); ok {
+							if v, conclusive := pc.Revalidate(disks, dist); conclusive {
+								anycast, decided, cert = v, true, pc
+								nHits++
+							}
+						}
+					}
+					if !decided {
+						cert = core.DetectCert(disks, dist)
+						anycast = cert.Anycast()
+						nScans++
+					}
+					if anycast {
+						r := core.AnalyzeDetected(a.idx, ms, disks, dist, a.cfg.Options)
+						a.results[t] = &r
+					} else {
+						a.results[t] = nil
+					}
+					if useCerts {
+						a.certs[t] = certToSlots(cert, vpIdx)
+					}
+				}
+			}
+			analyzed.Add(nAnalyzed)
+			hits.Add(nHits)
+			scans.Add(nScans)
+		}()
+	}
+	wg.Wait()
+	a.stats.Analyzed += analyzed.Load()
+	a.stats.CertHits += hits.Load()
+	a.stats.FullScans += scans.Load()
+}
+
+// certToSlots rewrites a certificate's measurement positions as VP slots.
+func certToSlots(c core.Certificate, vpIdx []int) certEntry {
+	e := certEntry{kind: c.Kind}
+	switch c.Kind {
+	case core.CertUnicast:
+		e.a = int32(vpIdx[c.I])
+	case core.CertAnycast:
+		e.a, e.b = int32(vpIdx[c.I]), int32(vpIdx[c.J])
+	}
+	return e
+}
+
+// certToPositions maps a slot-addressed certificate back to positions in
+// the target's current measurement sequence. vpIdx is ascending (rows are
+// appended in slot order), so each slot binary-searches. ok is false when
+// there is no cached certificate or a referenced VP is absent from the
+// sequence (it cannot be: cells never disappear under min-combine — but a
+// miss must degrade to a full scan, not a wrong answer).
+func (a *Analyzer) certToPositions(e certEntry, vpIdx []int) (core.Certificate, bool) {
+	switch e.kind {
+	case core.CertUnicast:
+		i, ok := slotPos(vpIdx, int(e.a))
+		return core.Certificate{Kind: e.kind, I: i}, ok
+	case core.CertAnycast:
+		i, ok1 := slotPos(vpIdx, int(e.a))
+		j, ok2 := slotPos(vpIdx, int(e.b))
+		return core.Certificate{Kind: e.kind, I: i, J: j}, ok1 && ok2
+	}
+	return core.Certificate{}, false
+}
+
+func slotPos(vpIdx []int, slot int) (int, bool) {
+	i := sort.SearchInts(vpIdx, slot)
+	return i, i < len(vpIdx) && vpIdx[i] == slot
+}

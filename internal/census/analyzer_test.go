@@ -1,0 +1,228 @@
+package census
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"anycastmap/internal/cities"
+	"anycastmap/internal/core"
+	"anycastmap/internal/hitlist"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/prober"
+)
+
+// handRun builds a one-round Run over real vantage-point locations with a
+// hand-written RTT matrix (microseconds; -1 = no sample), so tests control
+// exactly which combined cells improve between rounds.
+func handRun(round uint64, vps []platform.VP, nTargets int, rtt func(v, t int) int32) *Run {
+	targets := make([]netsim.IP, nTargets)
+	for t := range targets {
+		targets[t] = netsim.IP(10<<24 + t<<8 + 1)
+	}
+	rttus := make([][]int32, len(vps))
+	for v := range vps {
+		row := make([]int32, nTargets)
+		for t := range row {
+			row[t] = rtt(v, t)
+		}
+		rttus[v] = row
+	}
+	return &Run{Round: round, VPs: vps, Targets: targets, RTTus: rttus, Greylist: prober.NewGreylist()}
+}
+
+// assertIncrementalMatchesBatch deep-compares the analyzer's outcomes with
+// a from-scratch AnalyzeAll over the same combined matrix.
+func assertIncrementalMatchesBatch(t *testing.T, cp *Campaign, workers int) {
+	t.Helper()
+	got := cp.Outcomes()
+	want := AnalyzeAll(cities.Default(), cp.Combined(), core.Options{}, 2, workers)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("incremental outcomes diverge from batch:\n got %d outcomes %+v\nwant %d outcomes %+v",
+			len(got), got, len(want), want)
+	}
+}
+
+// TestAnalyzerDirtyCleanDirty walks one target through dirty → clean →
+// dirty across three rounds: round 2 re-reports every sample at a worse
+// RTT (no combined cell improves, so nothing about it is dirty), round 3
+// improves one cell. The clean round must skip the target entirely and
+// every round must still match batch analysis bit for bit.
+func TestAnalyzerDirtyCleanDirty(t *testing.T) {
+	vps := platform.PlanetLab(cities.Default()).VPs()[:8]
+	const nT = 10
+	const hot = 4 // the target whose lifecycle the test tracks
+
+	// Round 1: every VP answers every target at 40 ms except the hot
+	// target, which two far-apart VPs see at ~1 ms — a clean anycast
+	// proof.
+	base := func(v, t int) int32 {
+		if t == hot && (v == 0 || v == len(vps)-1) {
+			return 1_000
+		}
+		return 40_000
+	}
+	cp := NewCampaign(CampaignConfig{})
+	an := NewAnalyzer(cities.Default(), AnalyzerConfig{Workers: 2})
+	cp.AttachAnalyzer(an)
+
+	if err := cp.FoldRun(handRun(1, vps, nT, base)); err != nil {
+		t.Fatal(err)
+	}
+	dirty := cp.TakeDirty()
+	if len(dirty) != nT {
+		t.Fatalf("first fold dirtied %d targets, want all %d", len(dirty), nT)
+	}
+	an.Update(cp.Combined(), dirty)
+	assertIncrementalMatchesBatch(t, cp, 2)
+	if got := an.Stats().Analyzed; got != nT {
+		t.Fatalf("round 1 analyzed %d targets, want %d", got, nT)
+	}
+
+	// Round 2: everything answers 5 µs slower — min-combine improves no
+	// cell, so no target is dirty, least of all the hot one.
+	if err := cp.FoldRun(handRun(2, vps, nT, func(v, t int) int32 { return base(v, t) + 5 })); err != nil {
+		t.Fatal(err)
+	}
+	dirty = cp.TakeDirty()
+	if len(dirty) != 0 {
+		t.Fatalf("worse-only round dirtied %v, want none", dirty)
+	}
+	an.Update(cp.Combined(), dirty)
+	assertIncrementalMatchesBatch(t, cp, 2)
+	if got := an.Stats().Analyzed; got != nT {
+		t.Fatalf("clean round re-analyzed targets: total %d, want still %d", got, nT)
+	}
+
+	// Round 3: one VP sees the hot target faster — it (and only it) goes
+	// dirty again, and its cached anycast certificate should revalidate
+	// without a fresh scan.
+	hitsBefore := an.Stats().CertHits
+	if err := cp.FoldRun(handRun(3, vps, nT, func(v, t int) int32 {
+		if t == hot && v == 0 {
+			return 500
+		}
+		return base(v, t) + 5
+	})); err != nil {
+		t.Fatal(err)
+	}
+	dirty = cp.TakeDirty()
+	if len(dirty) != 1 || dirty[0] != hot {
+		t.Fatalf("round 3 dirty set %v, want [%d]", dirty, hot)
+	}
+	an.Update(cp.Combined(), dirty)
+	assertIncrementalMatchesBatch(t, cp, 2)
+	if got := an.Stats().Analyzed; got != nT+1 {
+		t.Fatalf("round 3 analyzed total %d, want %d", got, nT+1)
+	}
+	if an.Stats().CertHits != hitsBefore+1 {
+		t.Fatalf("shrunk anycast pair did not revalidate: hits %d → %d", hitsBefore, an.Stats().CertHits)
+	}
+}
+
+// TestAnalyzerNewVPAppends folds a round with two additional vantage
+// points: the fresh rows dirty every target they answered and the
+// analyzer's VP distance matrix grows, still matching batch.
+func TestAnalyzerNewVPAppends(t *testing.T) {
+	vps := platform.PlanetLab(cities.Default()).VPs()[:8]
+	const nT = 12
+	rtt1 := func(v, t int) int32 {
+		if t%3 == 0 && (v == 0 || v == 5) {
+			return 900
+		}
+		return 30_000 + int32(t)*11
+	}
+	cp := NewCampaign(CampaignConfig{})
+	an := NewAnalyzer(cities.Default(), AnalyzerConfig{Workers: 3})
+	cp.AttachAnalyzer(an)
+	if err := cp.FoldRun(handRun(1, vps[:6], nT, rtt1)); err != nil {
+		t.Fatal(err)
+	}
+	if n := cp.AnalyzeDirty(); n != nT {
+		t.Fatalf("first fold analyzed %d, want %d", n, nT)
+	}
+	assertIncrementalMatchesBatch(t, cp, 3)
+
+	// Round 2 probes from all 8 VPs; the two new rows answer only the
+	// even targets.
+	if err := cp.FoldRun(handRun(2, vps, nT, func(v, t int) int32 {
+		if v >= 6 {
+			if t%2 == 0 {
+				return 1_200
+			}
+			return noSample
+		}
+		return rtt1(v, t) + 7
+	})); err != nil {
+		t.Fatal(err)
+	}
+	n := cp.AnalyzeDirty()
+	if want := nT / 2; n != want {
+		t.Fatalf("new-VP round analyzed %d, want the %d even targets", n, want)
+	}
+	assertIncrementalMatchesBatch(t, cp, 3)
+}
+
+// TestExecuteRoundsOverlapped runs a real probing campaign through the
+// overlapped probe/analyze pipeline and checks it is indistinguishable
+// from the sequential fold-then-analyze path.
+func TestExecuteRoundsOverlapped(t *testing.T) {
+	wcfg := netsim.DefaultConfig()
+	wcfg.Unicast24s = 300
+	w := netsim.New(wcfg)
+	pl := platform.PlanetLab(cities.Default())
+	vps := pl.VPs()[:16]
+	h := hitlist.FromWorld(w).PruneNeverAlive()
+	cfg := Config{Seed: 7, RetryBackoff: -1}
+	blacklist, err := prober.BuildBlacklist(w, vps[0], h.Targets(), prober.Config{Seed: cfg.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cp := NewCampaign(CampaignConfig{Census: cfg})
+	cp.AttachAnalyzer(NewAnalyzer(cities.Default(), AnalyzerConfig{}))
+	var seen []uint64
+	err = cp.ExecuteRoundsOverlapped(context.Background(), w, h, blacklist, 1, 3,
+		func(uint64) []platform.VP { return vps },
+		func(sum RoundSummary, roundErr error) {
+			if roundErr != nil {
+				t.Errorf("round %d: %v", sum.Round, roundErr)
+			}
+			seen = append(seen, sum.Round)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != 1 || seen[2] != 3 {
+		t.Fatalf("observed rounds %v, want [1 2 3]", seen)
+	}
+	if cp.Combined().Rounds != 3 {
+		t.Fatalf("combined %d rounds, want 3", cp.Combined().Rounds)
+	}
+	if cp.AnalysisWall() <= 0 {
+		t.Error("analysis wall time not recorded")
+	}
+	assertIncrementalMatchesBatch(t, cp, 0)
+
+	// The sequential reference: same rounds, fold + analyze in lockstep.
+	ref := NewCampaign(CampaignConfig{Census: cfg})
+	ref.AttachAnalyzer(NewAnalyzer(cities.Default(), AnalyzerConfig{}))
+	for round := uint64(1); round <= 3; round++ {
+		if _, err := ref.ExecuteRound(context.Background(), w, vps, h, blacklist, round); err != nil {
+			t.Fatal(err)
+		}
+		ref.AnalyzeDirty()
+	}
+	if !reflect.DeepEqual(cp.Outcomes(), ref.Outcomes()) {
+		t.Fatal("overlapped and sequential campaigns disagree")
+	}
+}
+
+// TestExecuteRoundsOverlappedRequiresAnalyzer pins the error path.
+func TestExecuteRoundsOverlappedRequiresAnalyzer(t *testing.T) {
+	cp := NewCampaign(CampaignConfig{})
+	if err := cp.ExecuteRoundsOverlapped(context.Background(), nil, nil, nil, 1, 1, nil, nil); err == nil {
+		t.Fatal("expected an error without an attached analyzer")
+	}
+}

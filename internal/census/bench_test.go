@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"testing"
 
+	"anycastmap/internal/cities"
+	"anycastmap/internal/core"
 	"anycastmap/internal/detrand"
+	"anycastmap/internal/geo"
 	"anycastmap/internal/netsim"
 	"anycastmap/internal/platform"
 	"anycastmap/internal/prober"
@@ -20,7 +23,11 @@ func synthRuns(rounds, nVPs, nTargets int) []*Run {
 	}
 	vps := make([]platform.VP, nVPs)
 	for v := range vps {
-		vps[v] = platform.VP{ID: v, Name: "vp", LoadFactor: 1}
+		// Spread the hosts over the globe so the analysis benchmarks see
+		// non-degenerate disk geometry (co-located VPs would make every
+		// target trivially unicast).
+		vps[v] = platform.VP{ID: v, Name: "vp", LoadFactor: 1,
+			Loc: geo.Coord{Lat: float64(v*29%140) - 70, Lon: float64(v*67%360) - 180}}
 	}
 	runs := make([]*Run, rounds)
 	for r := range runs {
@@ -74,6 +81,51 @@ func BenchmarkStreamCombine(b *testing.B) {
 		if len(c.VPs) != 200 {
 			b.Fatal("lost VPs in fold")
 		}
+	}
+}
+
+// BenchmarkAnalyzeAll measures the work-stealing detection + geolocation
+// pass over a combined four-census campaign.
+func BenchmarkAnalyzeAll(b *testing.B) {
+	runs := synthRuns(4, 120, 5_000)
+	c, err := Combine(runs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := cities.Default()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := AnalyzeAll(db, c, core.Options{}, 2, 0); len(out) == 0 {
+			b.Fatal("no anycast detected")
+		}
+	}
+}
+
+// BenchmarkAnalyzerUpdateDirty5pct measures one incremental round against a
+// warm analyzer: 5% of the targets are dirty and every one carries a cached
+// detection certificate, so the cost is the O(n) revalidation path rather
+// than the full pairwise scan AnalyzeAll pays.
+func BenchmarkAnalyzerUpdateDirty5pct(b *testing.B) {
+	runs := synthRuns(4, 120, 5_000)
+	c, err := Combine(runs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := NewAnalyzer(cities.Default(), AnalyzerConfig{})
+	all := make([]int, len(c.Targets))
+	for t := range all {
+		all[t] = t
+	}
+	a.Update(c, all) // warm the certificate cache
+	dirty := make([]int, 0, len(c.Targets)/20+1)
+	for t := 0; t < len(c.Targets); t += 20 {
+		dirty = append(dirty, t)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Update(c, dirty)
 	}
 }
 

@@ -2,7 +2,9 @@ package census
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -70,6 +72,15 @@ type Campaign struct {
 	grey     *prober.Greylist
 	health   CampaignHealth
 	runs     []*Run
+
+	// dirty is a bitmap over targets: bit t is set when some combined
+	// min-RTT cell of target t improved or a VP newly answered it since
+	// the last TakeDirty. Fold workers own disjoint column shards but
+	// share bitmap words at shard boundaries, so bits merge with CAS.
+	dirty []uint32
+
+	analyzer     *Analyzer
+	analysisWall atomic.Int64 // cumulative AnalyzeDirty nanoseconds
 }
 
 // NewCampaign returns an empty streaming campaign.
@@ -119,6 +130,9 @@ func (cp *Campaign) FoldRun(run *Run) error {
 	}
 	c := cp.combined
 	c.Rounds++
+	if cp.dirty == nil {
+		cp.dirty = make([]uint32, (len(c.Targets)+31)/32)
+	}
 
 	// Register the round's vantage points serially: new VPs extend the
 	// union in first-seen order (matching the batch Combine ordering),
@@ -181,8 +195,27 @@ func (cp *Campaign) FoldRun(run *Run) error {
 				}
 				src := run.RTTus[vi][lo:hi]
 				dst := c.RTTus[slots[vi]][lo:hi]
+				// Dirty bits accumulate in a local word and flush on
+				// word-boundary crossings: shard edges can split a word
+				// between workers, so the flush merges with CAS.
+				word, mask := lo>>5, uint32(0)
 				if fresh[vi] {
+					// A fresh row copies whole (noSample cells included,
+					// matching batch Combine); every sampled cell is a VP
+					// newly answering its target.
 					copy(dst, src)
+					for t, v := range src {
+						if v < 0 {
+							continue
+						}
+						gt := lo + t
+						if w := gt >> 5; w != word {
+							cp.orDirty(word, mask)
+							word, mask = w, 0
+						}
+						mask |= 1 << uint(gt&31)
+					}
+					cp.orDirty(word, mask)
 					continue
 				}
 				for t, v := range src {
@@ -191,8 +224,15 @@ func (cp *Campaign) FoldRun(run *Run) error {
 					}
 					if dst[t] < 0 || v < dst[t] {
 						dst[t] = v
+						gt := lo + t
+						if w := gt >> 5; w != word {
+							cp.orDirty(word, mask)
+							word, mask = w, 0
+						}
+						mask |= 1 << uint(gt&31)
 					}
 				}
+				cp.orDirty(word, mask)
 			}
 		}()
 	}
@@ -209,6 +249,133 @@ func (cp *Campaign) FoldRun(run *Run) error {
 		}
 	}
 	return nil
+}
+
+// orDirty merges a local dirty mask into the shared bitmap word.
+func (cp *Campaign) orDirty(word int, mask uint32) {
+	if mask == 0 {
+		return
+	}
+	p := &cp.dirty[word]
+	for {
+		old := atomic.LoadUint32(p)
+		if old&mask == mask || atomic.CompareAndSwapUint32(p, old, old|mask) {
+			return
+		}
+	}
+}
+
+// TakeDirty returns the sorted indices of every target whose combined
+// row changed (a min-RTT cell improved, or a VP newly answered) since
+// the previous TakeDirty, clearing the set. It must not run concurrently
+// with FoldRun.
+func (cp *Campaign) TakeDirty() []int {
+	var out []int
+	for w, v := range cp.dirty {
+		if v == 0 {
+			continue
+		}
+		cp.dirty[w] = 0
+		base := w * 32
+		for ; v != 0; v &= v - 1 {
+			out = append(out, base+bits.TrailingZeros32(v))
+		}
+	}
+	return out
+}
+
+// AttachAnalyzer binds an incremental analyzer to the campaign: folds
+// keep marking dirty targets, and AnalyzeDirty refreshes exactly those.
+func (cp *Campaign) AttachAnalyzer(a *Analyzer) { cp.analyzer = a }
+
+// Analyzer returns the attached incremental analyzer, or nil.
+func (cp *Campaign) Analyzer() *Analyzer { return cp.analyzer }
+
+// AnalyzeDirty re-analyzes the targets dirtied since the last call
+// through the attached analyzer and returns the dirty-set size. The
+// outcomes afterwards match a batch AnalyzeAll over the current combined
+// matrix bit for bit (TestCensusDeterminism). It must not run
+// concurrently with FoldRun — the analysis reads the live matrix;
+// ExecuteRoundsOverlapped sequences the two while overlapping the
+// analysis with the next round's probing.
+func (cp *Campaign) AnalyzeDirty() int {
+	t0 := time.Now()
+	dirty := cp.TakeDirty()
+	cp.analyzer.Update(cp.combined, dirty)
+	cp.analysisWall.Add(int64(time.Since(t0)))
+	return len(dirty)
+}
+
+// Outcomes returns the attached analyzer's current outcomes — the
+// anycast targets of everything folded and analyzed so far, in target
+// order.
+func (cp *Campaign) Outcomes() []Outcome { return cp.analyzer.Outcomes() }
+
+// AnalysisWall returns the cumulative wall time spent in AnalyzeDirty.
+func (cp *Campaign) AnalysisWall() time.Duration {
+	return time.Duration(cp.analysisWall.Load())
+}
+
+// ExecuteRoundsOverlapped probes rounds first .. first+rounds-1, folding
+// each finished round and analyzing its dirty set while the next round
+// probes. In-flight analysis is bounded to one (a one-slot completion
+// channel): round N+1's fold waits for round N's analysis, so a fold
+// never mutates cells an analysis is reading. vpsFor selects each
+// round's vantage points; onRound, when set, observes each round's
+// summary and probing error right after its fold. Requires an attached
+// analyzer. The last round's dirty set is analyzed before returning, so
+// Outcomes reflects the whole campaign. Per-VP probing errors degrade
+// rather than abort (as ExecuteRound) and come back joined.
+func (cp *Campaign) ExecuteRoundsOverlapped(ctx context.Context, w *netsim.World, h *hitlist.Hitlist, blacklist *prober.Greylist, first uint64, rounds int, vpsFor func(round uint64) []platform.VP, onRound func(RoundSummary, error)) error {
+	if cp.analyzer == nil {
+		return fmt.Errorf("census: overlapped campaign requires an attached analyzer")
+	}
+	var errs []error
+	var pending chan struct{}
+	wait := func() {
+		if pending != nil {
+			<-pending
+			pending = nil
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		round := first + uint64(r)
+		t0 := time.Now()
+		run, err := ExecuteContext(ctx, w, vpsFor(round), h, blacklist, round, cp.cfg.Census)
+		wait() // round N-1's analysis still owns the combined matrix
+		if ctx.Err() != nil {
+			if err != nil {
+				errs = append(errs, err)
+			}
+			break
+		}
+		sum := RoundSummary{
+			Round:       round,
+			VPs:         len(run.VPs),
+			Probes:      run.TotalProbes(),
+			EchoTargets: run.EchoTargets(),
+			GreylistLen: run.Greylist.Len(),
+			Health:      run.Health,
+		}
+		if ferr := cp.FoldRun(run); ferr != nil {
+			errs = append(errs, ferr)
+			break
+		}
+		sum.Duration = time.Since(t0)
+		pending = make(chan struct{})
+		go func(done chan struct{}) {
+			defer close(done)
+			cp.AnalyzeDirty()
+		}(pending)
+		if onRound != nil {
+			onRound(sum, err)
+		}
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	wait()
+	return errors.Join(errs...)
 }
 
 // ExecuteRound probes one census round and folds it into the campaign,

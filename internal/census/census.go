@@ -19,7 +19,6 @@ import (
 
 	"anycastmap/internal/cities"
 	"anycastmap/internal/core"
-	"anycastmap/internal/geo"
 	"anycastmap/internal/hitlist"
 	"anycastmap/internal/netsim"
 	"anycastmap/internal/platform"
@@ -504,73 +503,16 @@ func (o Outcome) Prefix() netsim.Prefix24 { return o.Target.Prefix() }
 // echo samples and the full enumeration/geolocation pipeline over the
 // detected ones. It returns only the anycast outcomes, sorted by target.
 // Analysis is parallelized over targets; workers <= 0 means GOMAXPROCS.
+//
+// Scheduling is work-stealing, not static chunks: certified-unicast
+// rejects cost O(VPs) while anycast targets pay the full enumeration, so
+// evenly sized chunks leave most workers idle behind the one that drew
+// the anycast-dense range. The shared engine in analyzer.go pulls small
+// batches off an atomic cursor instead; the outcome does not depend on
+// the worker count.
 func AnalyzeAll(db *cities.DB, c *Combined, opt core.Options, minSamples, workers int) []Outcome {
-	if minSamples < 2 {
-		minSamples = 2
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	// One spatial index shared by every worker: classification is the
-	// inner loop of the analysis.
-	idx := cities.NewIndex(db, 10)
-
-	// Every disk the detector sees is centered at a vantage point, so one
-	// VP-pair distance matrix replaces the per-target haversines that
-	// dominate detection (borderline unicast targets fail the O(n)
-	// certificate and pay a pairwise scan). ~300 VPs is ~90k distances,
-	// amortized over tens of thousands of targets.
-	nVP := len(c.VPs)
-	vpDist := make([]float64, nVP*nVP)
-	for i := 0; i < nVP; i++ {
-		for j := i + 1; j < nVP; j++ {
-			d := geo.DistanceKm(c.VPs[i].Loc, c.VPs[j].Loc)
-			vpDist[i*nVP+j], vpDist[j*nVP+i] = d, d
-		}
-	}
-
-	results := make([]*core.Result, len(c.Targets))
-	var wg sync.WaitGroup
-	chunk := (len(c.Targets) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(c.Targets) {
-			hi = len(c.Targets)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			ms := make([]core.Measurement, 0, nVP)
-			vpIdx := make([]int, 0, nVP)
-			// dist closes over vpIdx (reassigned per target): measurement
-			// a maps to vantage point vpIdx[a].
-			dist := core.CenterDist(func(a, b int) float64 {
-				return vpDist[vpIdx[a]*nVP+vpIdx[b]]
-			})
-			for t := lo; t < hi; t++ {
-				ms, vpIdx = c.AppendMeasurements(t, ms[:0], vpIdx[:0])
-				if len(ms) < minSamples {
-					continue
-				}
-				r := core.AnalyzeWithDist(idx, ms, dist, opt)
-				if r.Anycast {
-					results[t] = &r
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-
-	var out []Outcome
-	for t, r := range results {
-		if r != nil {
-			out = append(out, Outcome{Target: c.Targets[t], Result: *r})
-		}
-	}
-	return out
+	a := NewAnalyzer(db, AnalyzerConfig{Options: opt, MinSamples: minSamples, Workers: workers})
+	a.bind(c)
+	a.run(nil, true, false)
+	return a.Outcomes()
 }

@@ -16,23 +16,26 @@ import (
 )
 
 // digestConfig selects one pipeline variant for campaignDigest: the
-// execution knobs (probe cache, census workers) and the combine path
-// (batch Combine versus a streaming Campaign at a given fold worker
-// count and shard width).
+// execution knobs (probe cache, census workers), the combine path (batch
+// Combine versus a streaming Campaign at a given fold worker count and
+// shard width) and the analysis path (batch AnalyzeAll from scratch each
+// round versus the incremental dirty-set analyzer).
 type digestConfig struct {
 	disableCache bool
 	workers      int
 	stream       bool
 	foldWorkers  int
 	shardTargets int
+	incremental  bool
 }
 
-// campaignDigest runs a small two-round campaign and serializes everything
-// the pipeline observes: the saved run bytes (SaveRun's v2 format is
-// byte-deterministic, so the files themselves are part of the digest), the
-// combined minimum-RTT matrix, the campaign greylist union, and the
-// analysis outcomes. Byte-equal digests mean the pipelines are
-// indistinguishable.
+// campaignDigest runs a small three-round campaign and serializes
+// everything the pipeline observes: the saved run bytes (SaveRun's v2
+// format is byte-deterministic, so the files themselves are part of the
+// digest), the analysis outcomes after every round (targets, replica
+// sets, cities — pinning incremental == batch per round, not just at the
+// end), the combined minimum-RTT matrix, and the campaign greylist
+// union. Byte-equal digests mean the pipelines are indistinguishable.
 func campaignDigest(t *testing.T, dc digestConfig) []byte {
 	t.Helper()
 	wcfg := netsim.DefaultConfig()
@@ -51,13 +54,27 @@ func campaignDigest(t *testing.T, dc digestConfig) []byte {
 	}
 
 	var buf bytes.Buffer
+	digestOutcomes := func(round uint64, outcomes []Outcome) {
+		for _, o := range outcomes {
+			fmt.Fprintf(&buf, "round %d out %v n=%d cities=%v iter=%d\n",
+				round, o.Target, o.Result.Count(), o.Result.Cities(), o.Result.Iterations)
+			for _, rep := range o.Result.Replicas {
+				fmt.Fprintf(&buf, "  rep %s located=%v disk=%v city=%s\n",
+					rep.VP, rep.Located, rep.Disk, rep.City.Key())
+			}
+		}
+	}
+
 	cp := NewCampaign(CampaignConfig{
 		Census:       cfg,
 		FoldWorkers:  dc.foldWorkers,
 		ShardTargets: dc.shardTargets,
 	})
+	if dc.incremental {
+		cp.AttachAnalyzer(NewAnalyzer(cities.Default(), AnalyzerConfig{Workers: dc.workers}))
+	}
 	var runs []*Run
-	for round := uint64(1); round <= 2; round++ {
+	for round := uint64(1); round <= 3; round++ {
 		run := Execute(w, vps, h, blacklist, round, cfg)
 		if err := SaveRun(&buf, run); err != nil {
 			t.Fatal(err)
@@ -68,6 +85,21 @@ func campaignDigest(t *testing.T, dc digestConfig) []byte {
 			}
 		} else {
 			runs = append(runs, run)
+		}
+		// Per-round analysis outcomes, through whichever path the
+		// variant selects.
+		switch {
+		case dc.incremental:
+			cp.AnalyzeDirty()
+			digestOutcomes(round, cp.Outcomes())
+		case dc.stream:
+			digestOutcomes(round, AnalyzeAll(cities.Default(), cp.Combined(), core.Options{}, 2, dc.workers))
+		default:
+			c, err := Combine(runs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			digestOutcomes(round, AnalyzeAll(cities.Default(), c, core.Options{}, 2, dc.workers))
 		}
 	}
 
@@ -116,11 +148,13 @@ func campaignDigest(t *testing.T, dc digestConfig) []byte {
 }
 
 // TestCensusDeterminism is the PR's regression gate: a census campaign's
-// saved run bytes, combined matrix, greylist union and analysis outcomes
-// are byte-identical across worker counts, with the probe caches on or
-// off, and — the streaming data path's contract — whether the rounds are
-// batch-Combined or folded through a Campaign at any fold worker count
-// and shard width.
+// saved run bytes, per-round analysis outcomes, combined matrix and
+// greylist union are byte-identical across worker counts, with the probe
+// caches on or off, whether the rounds are batch-Combined or folded
+// through a Campaign at any fold worker count and shard width, and —
+// the incremental engine's contract — whether each round's outcomes come
+// from a from-scratch AnalyzeAll or the dirty-set analyzer revalidating
+// cached certificates.
 func TestCensusDeterminism(t *testing.T) {
 	ref := campaignDigest(t, digestConfig{workers: 1})
 	for _, tc := range []struct {
@@ -134,6 +168,10 @@ func TestCensusDeterminism(t *testing.T) {
 		{"stream_fold4_shard64", digestConfig{workers: 4, stream: true, foldWorkers: 4, shardTargets: 64}},
 		{"stream_fold3_shardhuge", digestConfig{workers: 2, stream: true, foldWorkers: 3, shardTargets: 1 << 20}},
 		{"stream_nocache_workers4", digestConfig{disableCache: true, workers: 4, stream: true}},
+		{"incremental_workers1", digestConfig{workers: 1, stream: true, incremental: true}},
+		{"incremental_workers4", digestConfig{workers: 4, stream: true, foldWorkers: 4, shardTargets: 64, incremental: true}},
+		{"incremental_workers3_shard1", digestConfig{workers: 3, stream: true, foldWorkers: 2, shardTargets: 1, incremental: true}},
+		{"incremental_nocache_workers4", digestConfig{disableCache: true, workers: 4, stream: true, incremental: true}},
 	} {
 		got := campaignDigest(t, tc.dc)
 		if !bytes.Equal(ref, got) {

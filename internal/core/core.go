@@ -124,8 +124,7 @@ func (o Options) maxIter() int {
 // certificate is found does it fall back to the pairwise scan, which for
 // true anycast terminates at the first disjoint pair.
 func Detect(ms []Measurement) bool {
-	_, _, found := detectPair(disksOf(ms), nil)
-	return found
+	return DetectCert(disksOf(ms), nil).Anycast()
 }
 
 // CenterDist lets callers supply a precomputed oracle for the distance in
@@ -143,54 +142,6 @@ func disksOf(ms []Measurement) []geo.Disk {
 		out[i] = m.Disk()
 	}
 	return out
-}
-
-// detectPair finds a disjoint pair of disks, if any. The comparisons below
-// spell out Disk.Contains and Disk.Overlaps (same epsilon, same
-// association) so a CenterDist oracle and the live haversine path are
-// interchangeable bit for bit.
-func detectPair(disks []geo.Disk, dist CenterDist) (int, int, bool) {
-	n := len(disks)
-	if n < 2 {
-		return 0, 0, false
-	}
-	centerDist := func(i, j int) float64 {
-		if dist != nil {
-			return dist(i, j)
-		}
-		return geo.DistanceKm(disks[i].Center, disks[j].Center)
-	}
-	// Candidate certificate points: centers of the three smallest disks.
-	// A point contained in every disk certifies pairwise overlap.
-	idx := smallestK(disks, 3)
-	for _, ci := range idx {
-		ok := true
-		for i := range disks {
-			if centerDist(i, ci) > disks[i].RadiusKm+1e-9 { // !Contains
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return 0, 0, false // certified unicast-consistent
-		}
-	}
-	// Pairwise scan ordered by radius: small disks are the most likely to
-	// be disjoint, so true anycast exits early.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return disks[order[a]].RadiusKm < disks[order[b]].RadiusKm })
-	for a := 0; a < n; a++ {
-		for b := a + 1; b < n; b++ {
-			i, j := order[a], order[b]
-			if centerDist(i, j) > disks[i].RadiusKm+disks[j].RadiusKm+1e-9 { // !Overlaps
-				return i, j, true
-			}
-		}
-	}
-	return 0, 0, false
 }
 
 // smallestK returns the indices of the k smallest-radius disks.
@@ -317,10 +268,21 @@ func AnalyzeWithDist(db Locator, ms []Measurement, dist CenterDist, opt Options)
 		return Result{}
 	}
 	disks := disksOf(ms)
-	if _, _, anycast := detectPair(disks, dist); !anycast {
+	if !DetectCert(disks, dist).Anycast() {
 		return Result{}
 	}
+	return AnalyzeDetected(db, ms, disks, dist, opt)
+}
 
+// AnalyzeDetected is the enumeration / geolocation / iteration tail of
+// AnalyzeWithDist for a target already proven anycast — by DetectCert or a
+// revalidated Certificate. disks must be the measurements' constraint
+// disks (AppendDisks(nil, ms)); given those, the result is identical to
+// AnalyzeWithDist on the same input. The caller's certificate is
+// deliberately not taken as input: the rare single-disk-MIS fallback
+// below re-derives the proven pair with a fresh detection pass so the
+// reported replicas never depend on which certificate decided the target.
+func AnalyzeDetected(db Locator, ms []Measurement, disks []geo.Disk, dist CenterDist, opt Options) Result {
 	// work keeps the evolving disk of each measurement plus its
 	// classification state.
 	type work struct {
@@ -371,8 +333,8 @@ func AnalyzeWithDist(db Locator, ms []Measurement, dist CenterDist, opt Options)
 	// detection proved two disjoint ones exist; enumeration must still
 	// report at least the proven pair.
 	if len(mis) < 2 {
-		i, j, _ := detectPair(disks, dist)
-		mis = []int{i, j}
+		cert := DetectCert(disks, dist)
+		mis = []int{cert.I, cert.J}
 		for _, k := range mis {
 			if !ws[k].collapsed {
 				if city, ok := db.LargestInDisk(disks[k]); ok {

@@ -95,6 +95,41 @@ func TestFusePlatforms(t *testing.T) {
 	}
 }
 
+func TestLongitudinalCampaign(t *testing.T) {
+	l := getLab(t)
+	r := l.LongitudinalCampaign(3, 60)
+	if !r.Agree {
+		t.Fatal("incremental and batch per-round outcomes diverge")
+	}
+	if len(r.Rounds) != 3 {
+		t.Fatalf("got %d rounds", len(r.Rounds))
+	}
+	if r.Rounds[0].DirtyFraction < 0.5 {
+		t.Errorf("initial full census dirtied only %.1f%% of targets", 100*r.Rounds[0].DirtyFraction)
+	}
+	for i, rd := range r.Rounds {
+		if rd.DirtyFraction < 0 || rd.DirtyFraction > 1 {
+			t.Errorf("round %d dirty fraction %v out of range", rd.Round, rd.DirtyFraction)
+		}
+		if i > 0 {
+			// Patch rounds re-probe only the churned slice, so the dirty
+			// set is bounded by it (with slack for hash-sample variance).
+			if max := 3 * float64(LongitudinalChurnPerMil) / 1000; rd.DirtyFraction > max {
+				t.Errorf("patch round %d dirtied %.1f%% of targets, want <= %.1f%%", rd.Round, 100*rd.DirtyFraction, 100*max)
+			}
+		}
+		if rd.Detected24s == 0 {
+			t.Errorf("round %d detected nothing", rd.Round)
+		}
+	}
+	if r.CertHitRate <= 0 {
+		t.Error("no certificate revalidation hits across a stable campaign")
+	}
+	if r.Report() == "" {
+		t.Error("empty report")
+	}
+}
+
 func TestLongitudinal(t *testing.T) {
 	l := getLab(t)
 	r := l.Longitudinal(3, 150)

@@ -133,9 +133,20 @@ func (r Fig9Result) Report() string {
 	return b.String()
 }
 
-// Fig11Result is the AS-category breakdown.
+// Fig11Result is the AS-category breakdown, sorted by share descending
+// (category name as tie-break).
 type Fig11Result struct {
-	Breakdown map[string]float64
+	Breakdown []analysis.CategoryShare
+}
+
+// Share looks up one category's share (zero when absent).
+func (r Fig11Result) Share(cat string) float64 {
+	for _, cs := range r.Breakdown {
+		if cs.Category == cat {
+			return cs.Share
+		}
+	}
+	return 0
 }
 
 // PaperFig11 approximates the Fig. 11 bars (first category only, top-100).
@@ -155,7 +166,7 @@ func (r Fig11Result) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 11 - AS category breakdown (measured %% | paper %%)\n")
 	for _, cat := range []string{"DNS", "CDN", "Cloud", "ISP", "Security", "Social", "Unknown", "Other"} {
-		fmt.Fprintf(&b, "  %-9s %5.1f | %5.1f\n", cat, 100*r.Breakdown[cat], 100*PaperFig11[cat])
+		fmt.Fprintf(&b, "  %-9s %5.1f | %5.1f\n", cat, 100*r.Share(cat), 100*PaperFig11[cat])
 	}
 	return b.String()
 }

@@ -201,17 +201,21 @@ func TestFig10Glance(t *testing.T) {
 
 func TestFig11Categories(t *testing.T) {
 	r := getLab(t).Fig11()
-	between(t, "DNS share", r.Breakdown["DNS"], 0.22, 0.45) // paper ~1/3
+	between(t, "DNS share", r.Share("DNS"), 0.22, 0.45) // paper ~1/3
 	var sum float64
-	for _, v := range r.Breakdown {
-		sum += v
+	for _, cs := range r.Breakdown {
+		sum += cs.Share
 	}
 	between(t, "breakdown sum", sum, 0.999, 1.001)
-	// DNS leads all categories (the paper's headline of Fig. 11).
-	for cat, v := range r.Breakdown {
-		if cat != "DNS" && v > r.Breakdown["DNS"] {
-			t.Errorf("category %s (%.2f) exceeds DNS (%.2f)", cat, v, r.Breakdown["DNS"])
+	// DNS leads all categories (the paper's headline of Fig. 11) — with
+	// the share-descending ordering, DNS must be the first entry.
+	for _, cs := range r.Breakdown {
+		if cs.Category != "DNS" && cs.Share > r.Share("DNS") {
+			t.Errorf("category %s (%.2f) exceeds DNS (%.2f)", cs.Category, cs.Share, r.Share("DNS"))
 		}
+	}
+	if len(r.Breakdown) > 0 && r.Breakdown[0].Category != "DNS" {
+		t.Errorf("breakdown leads with %s, want DNS", r.Breakdown[0].Category)
 	}
 }
 

@@ -61,10 +61,10 @@ func (l *Lab) ExportCSV(dir string) ([]string, error) {
 		return written, err
 	}
 
-	bd := l.Fig11().Breakdown
+	fig11 := l.Fig11()
 	var catRows []string
 	for _, cat := range []string{"DNS", "CDN", "Cloud", "ISP", "Security", "Social", "Unknown", "Other"} {
-		catRows = append(catRows, fmt.Sprintf("%s,%g", cat, bd[cat]))
+		catRows = append(catRows, fmt.Sprintf("%s,%g", cat, fig11.Share(cat)))
 	}
 	if err := write("fig11_categories.csv", "category,share", catRows); err != nil {
 		return written, err

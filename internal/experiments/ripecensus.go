@@ -5,7 +5,6 @@ import (
 
 	"anycastmap/internal/analysis"
 	"anycastmap/internal/census"
-	"anycastmap/internal/core"
 )
 
 // RIPECensusResult is the Sec. 3.2 what-if: the same census campaign run
@@ -38,18 +37,23 @@ func (l *Lab) RIPECensus() RIPECensusResult {
 		res.PLDetected++
 		res.PLReplicas += f.Result.Count()
 	}
-	single, err := census.Combine(l.Runs[0])
-	if err != nil {
-		panic(fmt.Sprintf("ripecensus: %v", err))
+	// Both single-census views stream through a campaign with the
+	// incremental analyzer (one fold + one dirty-set analysis — identical
+	// to batch Combine + AnalyzeAll, without materializing a second
+	// combined matrix API-side).
+	analyzeSingle := func(run *census.Run) []census.Outcome {
+		cp := census.NewCampaign(census.CampaignConfig{})
+		cp.AttachAnalyzer(census.NewAnalyzer(l.Cities, census.AnalyzerConfig{}))
+		if err := cp.FoldRun(run); err != nil {
+			panic(fmt.Sprintf("ripecensus: %v", err))
+		}
+		cp.AnalyzeDirty()
+		return cp.Outcomes()
 	}
-	res.PLSingleDetected = len(census.AnalyzeAll(l.Cities, single, core.Options{}, 2, 0))
+	res.PLSingleDetected = len(analyzeSingle(l.Runs[0]))
 
 	run := census.Execute(l.World, l.RIPE.VPs(), l.Hitlist, l.Black, 21, census.Config{Seed: l.Config.Seed})
-	combined, err := census.Combine(run)
-	if err != nil {
-		panic(fmt.Sprintf("ripecensus: %v", err))
-	}
-	outcomes := census.AnalyzeAll(l.Cities, combined, core.Options{}, 2, 0)
+	outcomes := analyzeSingle(run)
 	findings := analysis.Attribute(outcomes, l.Table)
 	for _, f := range findings {
 		res.RIPEDetected++
