@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify clean bench bench-smoke bench-json stream-smoke analyze-smoke profile
+.PHONY: all build vet test race verify clean bench bench-smoke bench-json stream-smoke analyze-smoke cluster-smoke profile
 
 all: verify
 
@@ -34,7 +34,7 @@ bench-smoke:
 
 # bench-json regenerates the committed benchmark trajectory point.
 bench-json:
-	$(GO) run ./cmd/benchreport -exp none -benchjson BENCH_5.json
+	$(GO) run ./cmd/benchreport -exp none -benchjson BENCH_6.json
 
 # stream-smoke proves the streaming data path's memory bound: a 150k-/24
 # campaign (above netsim.DefaultUniBaseCacheCap, so the per-VP unicast
@@ -52,6 +52,17 @@ stream-smoke:
 # unless the outcomes match exactly.
 analyze-smoke:
 	$(GO) run ./cmd/census -unicast24s 20000 -censuses 3 -verify-analysis
+
+# cluster-smoke proves the distributed control plane end to end: a
+# 4-agent in-process census over net.Pipe with forced churn (every
+# agent's connection is severed after 25 streamed row frames and
+# respawned) and injected VP crashes, where -verify fails the run unless
+# the combined matrix, greylist, and analysis outcomes are byte-identical
+# to a zero-fault single-process campaign.
+cluster-smoke:
+	$(GO) run ./cmd/censusd -local 4 -transport pipe -unicast24s 6000 -censuses 3 -vps 24 \
+		-retries 50 -retry-backoff 1ms -churn-every 25 -respawn \
+		-fault-crash 0.25 -exit-on-crash -verify
 
 # profile captures CPU and heap profiles of a full census run; inspect
 # with `go tool pprof cpu.pprof`.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"anycastmap/internal/bgp"
 	"anycastmap/internal/census"
 	"anycastmap/internal/cities"
+	"anycastmap/internal/cluster"
 	"anycastmap/internal/core"
 	"anycastmap/internal/experiments"
 	"anycastmap/internal/geo"
@@ -137,6 +139,31 @@ type incrementalBench struct {
 	Agree            bool      `json:"outcomes_agree"`
 }
 
+// distributedBench compares one campaign probed in-process against the
+// same campaign leased across an in-process agent fleet (coordinator +
+// net.Pipe agents speaking the shard stream protocol), and checks the
+// two combined matrices are byte-identical.
+type distributedBench struct {
+	Agents      int `json:"agents"`
+	Censuses    int `json:"censuses"`
+	VPsPerRound int `json:"vps_per_round"`
+	Targets     int `json:"targets"`
+	// SingleWallS / DistributedWallS time the probing rounds only (the
+	// world, blacklist, and analysis are shared context).
+	SingleWallS    float64 `json:"single_process_wall_s"`
+	SinglePeakHeap uint64  `json:"single_process_peak_heap_bytes"`
+	DistribWallS   float64 `json:"distributed_wall_s"`
+	// CoordPeakHeap is the coordinator-process high-water heap while the
+	// fleet probes; in-process agents share the heap, so this bounds the
+	// whole cluster from above.
+	CoordPeakHeap uint64 `json:"coordinator_peak_heap_bytes"`
+	Leases        int    `json:"leases"`
+	FramesFolded  int    `json:"frames_folded"`
+	// Identical is the acceptance gate: combined rows, greylist, and VP
+	// union must match the single-process campaign byte for byte.
+	Identical bool `json:"identical"`
+}
+
 type benchReport struct {
 	Bench    string `json:"bench"`
 	Go       string `json:"go"`
@@ -167,6 +194,9 @@ type benchReport struct {
 	// Incremental is the longitudinal re-analysis workload, batch vs
 	// incremental.
 	Incremental *incrementalBench `json:"incremental_analysis,omitempty"`
+	// Distributed compares the single-process campaign against the same
+	// rounds leased across an in-process agent fleet.
+	Distributed *distributedBench `json:"distributed_campaign,omitempty"`
 }
 
 // seedBaseline holds the pre-streaming numbers: the BENCH_3 "current"
@@ -256,6 +286,16 @@ func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration,
 			rep.AnalyzeAll.StaticNs/1e9, rep.AnalyzeAll.WorkStealNs/1e9, rep.AnalyzeAll.Speedup)
 	} else {
 		fmt.Printf("skipped (paths disagree or nothing detected)\n")
+	}
+
+	fmt.Printf("bench: distributed campaign (1 process vs 4 agents) ... ")
+	rep.Distributed = measureDistributed(lab, 4)
+	if rep.Distributed != nil {
+		fmt.Printf("%.2fs vs %.2fs, coordinator peak heap %.0f MiB, identical=%v\n",
+			rep.Distributed.SingleWallS, rep.Distributed.DistribWallS,
+			float64(rep.Distributed.CoordPeakHeap)/(1<<20), rep.Distributed.Identical)
+	} else {
+		fmt.Printf("skipped (round failed)\n")
 	}
 
 	fmt.Printf("bench: longitudinal re-analysis (batch vs incremental) ... ")
@@ -582,6 +622,92 @@ func measureAnalyzeAll(lab *experiments.Lab) *analyzeAllBench {
 		WorkStealNs: stealNs,
 		Speedup:     staticNs / stealNs,
 		Anycast24s:  len(steal),
+	}
+}
+
+// measureDistributed runs the same probing rounds twice over the lab's
+// world — once in-process, once leased across an agent fleet over
+// net.Pipe — and checks byte-identity of the two campaigns.
+func measureDistributed(lab *experiments.Lab, agents int) *distributedBench {
+	const vpsPer = 200
+	rounds := lab.Config.Censuses
+	seed := lab.Config.Seed
+	ccfg := census.Config{Seed: seed}
+	targets := lab.Hitlist
+
+	runtime.GC()
+	sampler := startHeapSampler()
+	t0 := time.Now()
+	single := census.NewCampaign(census.CampaignConfig{Census: ccfg})
+	for round := uint64(1); round <= uint64(rounds); round++ {
+		vps := lab.PL.Sample(vpsPer, seed+round)
+		if _, err := single.ExecuteRound(context.Background(), lab.World, vps, targets, lab.Black, round); err != nil {
+			sampler.Stop()
+			return nil
+		}
+	}
+	singleWall := time.Since(t0)
+	singlePeak, _ := sampler.Stop()
+
+	runtime.GC()
+	sampler = startHeapSampler()
+	t0 = time.Now()
+	dist := census.NewCampaign(census.CampaignConfig{Census: ccfg})
+	coord, err := cluster.NewCoordinator(cluster.Config{
+		Campaign:  dist,
+		Targets:   targets.Targets(),
+		Blacklist: lab.Black,
+		Census:    ccfg,
+		World:     lab.World.Config(),
+	})
+	if err != nil {
+		sampler.Stop()
+		return nil
+	}
+	fleet, err := cluster.NewHarness(coord, cluster.HarnessConfig{
+		Agents: agents,
+		Agent:  cluster.AgentConfig{World: lab.World, Capacity: 2},
+	})
+	if err != nil {
+		coord.Close()
+		sampler.Stop()
+		return nil
+	}
+	ok := true
+	for round := uint64(1); round <= uint64(rounds); round++ {
+		vps := lab.PL.Sample(vpsPer, seed+round)
+		if _, err := coord.ExecuteRound(context.Background(), round, vps); err != nil {
+			ok = false
+			break
+		}
+	}
+	distWall := time.Since(t0)
+	st := coord.Stats()
+	fleet.Close()
+	coordPeak, _ := sampler.Stop()
+	if !ok {
+		return nil
+	}
+
+	cs, cd := single.Combined(), dist.Combined()
+	identical := cs != nil && cd != nil &&
+		reflect.DeepEqual(cs.VPs, cd.VPs) &&
+		reflect.DeepEqual(cs.Targets, cd.Targets) &&
+		reflect.DeepEqual(cs.RTTus, cd.RTTus) &&
+		reflect.DeepEqual(single.Greylist().Snapshot(), dist.Greylist().Snapshot())
+
+	return &distributedBench{
+		Agents:         agents,
+		Censuses:       rounds,
+		VPsPerRound:    vpsPer,
+		Targets:        targets.Len(),
+		SingleWallS:    singleWall.Seconds(),
+		SinglePeakHeap: singlePeak,
+		DistribWallS:   distWall.Seconds(),
+		CoordPeakHeap:  coordPeak,
+		Leases:         st.Leases,
+		FramesFolded:   st.FramesFolded,
+		Identical:      identical,
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"anycastmap/internal/bgp"
 	"anycastmap/internal/census"
 	"anycastmap/internal/cities"
+	"anycastmap/internal/cluster"
 	"anycastmap/internal/core"
 	"anycastmap/internal/hitlist"
 	"anycastmap/internal/netsim"
@@ -33,6 +34,7 @@ import (
 
 func main() {
 	unicast := flag.Int("unicast24s", 20000, "unicast /24 background size")
+	agents := flag.Int("agents", 0, "run each census distributed across N in-process agents (cluster coordinator + VP agents over net.Pipe); 0 probes in-process")
 	rounds := flag.Int("censuses", 4, "number of census rounds")
 	vpsPer := flag.Int("vps", 261, "vantage points per census")
 	seed := flag.Uint64("seed", 2015, "world seed")
@@ -113,19 +115,21 @@ func main() {
 
 	// Fault injection applies to the census rounds, not the bootstrap
 	// blacklist run.
+	var faults *netsim.FaultConfig
 	if *faultCrash > 0 || *faultFlap > 0 || *faultBurst > 0 || *faultOutage > 0 {
 		fseed := *faultSeed
 		if fseed == 0 {
 			fseed = *seed
 		}
-		plan, err := netsim.NewFaultPlan(netsim.FaultConfig{
+		faults = &netsim.FaultConfig{
 			Seed:                 fseed,
 			CrashFraction:        *faultCrash,
 			CrashStickiness:      *faultSticky,
 			FlapFraction:         *faultFlap,
 			BurstLossFraction:    *faultBurst,
 			TargetOutageFraction: *faultOutage,
-		})
+		}
+		plan, err := netsim.NewFaultPlan(*faults)
 		if err != nil {
 			log.Fatalf("fault plan: %v", err)
 		}
@@ -188,7 +192,58 @@ func main() {
 			log.Printf("census %d health: %s", sum.Round, sum.Health)
 		}
 	}
-	if useIncremental {
+	switch {
+	case *agents > 0:
+		// Distributed mode: the rounds run across an in-process cluster —
+		// coordinator plus N agents over net.Pipe — through the same lease
+		// and shard-fold protocol cmd/censusd speaks over TCP. The fold
+		// always streams (no retained runs), so -save and -stream=false
+		// have nothing to persist.
+		if *save != "" {
+			log.Printf("-save keeps whole runs; the distributed fold streams shards, skipping")
+		}
+		if !*stream {
+			log.Printf("-stream=false needs retained runs; the distributed fold always streams")
+		}
+		if useIncremental {
+			cp.AttachAnalyzer(census.NewAnalyzer(db, census.AnalyzerConfig{Workers: *analyzeWorkers}))
+		}
+		coord, err := cluster.NewCoordinator(cluster.Config{
+			Campaign:     cp,
+			Targets:      targets.Targets(),
+			Blacklist:    black,
+			Census:       ccfg,
+			World:        cfg,
+			Faults:       faults,
+			ShardTargets: *shardTargets,
+			Log:          log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("coordinator: %v", err)
+		}
+		fleet, err := cluster.NewHarness(coord, cluster.HarnessConfig{
+			Agents: *agents,
+			Agent:  cluster.AgentConfig{World: world, Capacity: 2},
+		})
+		if err != nil {
+			coord.Close()
+			log.Fatalf("agent fleet: %v", err)
+		}
+		log.Printf("distributed census: %d in-process agents", *agents)
+		for round := 1; round <= *rounds; round++ {
+			vps := pl.Sample(*vpsPer, *seed+uint64(round))
+			sum, err := coord.ExecuteRound(context.Background(), uint64(round), vps)
+			onRound(sum, err)
+			if useIncremental {
+				cp.AnalyzeDirty()
+			}
+		}
+		st := coord.Stats()
+		log.Printf("cluster: %d leases (%d re-leases), %d frames folded", st.Leases, st.ReLeases, st.FramesFolded)
+		if err := fleet.Close(); err != nil {
+			log.Printf("agent fleet close: %v", err)
+		}
+	case useIncremental:
 		// Each round's dirty targets are analyzed while the next round
 		// probes; per-round errors are surfaced by onRound as they happen.
 		cp.AttachAnalyzer(census.NewAnalyzer(db, census.AnalyzerConfig{Workers: *analyzeWorkers}))
@@ -198,7 +253,7 @@ func main() {
 			}, onRound); err != nil {
 			log.Printf("campaign: %v", err)
 		}
-	} else {
+	default:
 		for round := 1; round <= *rounds; round++ {
 			vps := pl.Sample(*vpsPer, *seed+uint64(round))
 			sum, err := cp.ExecuteRound(context.Background(), world, vps, targets, black, uint64(round))
@@ -219,7 +274,7 @@ func main() {
 	}
 
 	combined := cp.Combined()
-	if !*stream {
+	if !*stream && *agents == 0 {
 		// Batch mode keeps every round and re-derives the combination the
 		// pre-streaming way; the result is byte-identical to the fold.
 		var err error

@@ -79,6 +79,14 @@ type Campaign struct {
 	// share bitmap words at shard boundaries, so bits merge with CAS.
 	dirty []uint32
 
+	// Distributed-fold round state (shard.go): the number of the round
+	// currently open for shard-wise folding, and which combined row
+	// slots belong to it. BeginRound opens a round, FoldShard merges
+	// partial rows in any order, FinishRound closes it.
+	shardRound uint64
+	shardOpen  bool
+	shardSlots []bool
+
 	analyzer     *Analyzer
 	analysisWall atomic.Int64 // cumulative AnalyzeDirty nanoseconds
 }
@@ -111,6 +119,9 @@ type RoundSummary struct {
 // folded before it. After FoldRun returns the campaign holds no reference
 // to the run's matrix unless RetainRuns is set.
 func (cp *Campaign) FoldRun(run *Run) error {
+	if cp.shardOpen {
+		return fmt.Errorf("census: round %d is folding by shards; FinishRound first", cp.shardRound)
+	}
 	if cp.combined == nil {
 		cp.combined = &Combined{
 			Targets: run.Targets,

@@ -103,6 +103,18 @@ func (c Config) backoffFor(attempt int) time.Duration {
 	return d
 }
 
+// Attempts resolves the per-VP probing attempt budget: MaxAttempts when
+// positive, the default of 3 otherwise. Exported so the cluster
+// coordinator re-leases failed shards under exactly the budget the
+// in-process retry loop uses.
+func (c Config) Attempts() int { return c.maxAttempts() }
+
+// Backoff returns the capped exponential delay preceding retry attempt
+// attempt (>= 1) — the same schedule ExecuteContext sleeps between a
+// vantage point's attempts, exported so the cluster coordinator can
+// delay re-leases identically.
+func (c Config) Backoff(attempt int) time.Duration { return c.backoffFor(attempt) }
+
 // sleepBackoff waits out the pre-retry backoff; it returns false when the
 // context is cancelled first.
 func sleepBackoff(ctx context.Context, d time.Duration) bool {

@@ -266,7 +266,18 @@ func loadRunV2(data []byte) (*Run, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Validate each declared length as it arrives: a hostile header
+		// could otherwise overflow the uint64 running sum (wrapping past
+		// the post-loop check) and panic the row slicing below. Each
+		// length is bounded by the remaining payload and the sum by the
+		// whole input, so the sum can never wrap.
+		if lengths[i] > uint64(len(b)) {
+			return nil, fmt.Errorf("census: v2 row %d length %d exceeds payload", i, lengths[i])
+		}
 		totalRows += lengths[i]
+		if totalRows > uint64(len(data)) {
+			return nil, fmt.Errorf("census: v2 rows (%d+ bytes) exceed payload (%d)", totalRows, len(data))
+		}
 	}
 	if totalRows > uint64(len(b)) {
 		return nil, fmt.Errorf("census: v2 rows (%d bytes) exceed payload (%d)", totalRows, len(b))

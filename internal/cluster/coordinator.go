@@ -1,0 +1,918 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"anycastmap/internal/census"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/prober"
+)
+
+// Config parametrizes a Coordinator.
+type Config struct {
+	// Campaign receives the folded rounds; required. The coordinator
+	// drives it through BeginRound / FoldShard / FinishRound, so the
+	// campaign must not be folding runs concurrently.
+	Campaign *census.Campaign
+	// Targets is the census target list, identical for every round.
+	Targets []netsim.IP
+	// Blacklist is the pre-census blacklist shipped to agents in the
+	// welcome. It is snapshotted when the coordinator is built; later
+	// additions do not reach agents.
+	Blacklist *prober.Greylist
+	// Census carries the probing configuration: rate, seed, and the
+	// retry budget and backoff schedule that govern re-leasing, exactly
+	// as they govern the single-process retry loop.
+	Census census.Config
+	// World is the deterministic world agents rebuild; in-process
+	// agents may share a prebuilt *netsim.World instead (AgentConfig).
+	World netsim.Config
+	// Faults, when non-nil, is the fault weather agents install.
+	Faults *netsim.FaultConfig
+
+	// ShardTargets is the lease width in targets; non-positive leases
+	// each vantage point's whole row at once.
+	ShardTargets int
+	// LeaseTTL is how long an agent may hold a lease before the
+	// coordinator presumes it dead; expiry drops the whole agent (its
+	// other leases fail with it). Zero means 30s.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the liveness interval announced to agents.
+	// Zero means 1s.
+	HeartbeatEvery time.Duration
+	// AgentGrace is how long a round may sit with zero registered
+	// agents before it aborts. Zero means 30s.
+	AgentGrace time.Duration
+	// Tick is the internal maintenance interval (lease expiry, backoff
+	// release). Zero means 25ms.
+	Tick time.Duration
+	// MaxFrame bounds inbound frames; zero means DefaultMaxFrame.
+	MaxFrame int
+	// Log, when non-nil, receives operational events.
+	Log func(format string, args ...any)
+}
+
+func (c Config) leaseTTL() time.Duration {
+	if c.LeaseTTL > 0 {
+		return c.LeaseTTL
+	}
+	return 30 * time.Second
+}
+
+func (c Config) heartbeatEvery() time.Duration {
+	if c.HeartbeatEvery > 0 {
+		return c.HeartbeatEvery
+	}
+	return time.Second
+}
+
+func (c Config) agentGrace() time.Duration {
+	if c.AgentGrace > 0 {
+		return c.AgentGrace
+	}
+	return 30 * time.Second
+}
+
+func (c Config) tick() time.Duration {
+	if c.Tick > 0 {
+		return c.Tick
+	}
+	return 25 * time.Millisecond
+}
+
+// Stats counts coordinator events; read it with Coordinator.Stats.
+type Stats struct {
+	AgentsJoined int
+	AgentsLost   int
+	Leases       int
+	ReLeases     int
+	Expired      int
+	LateFrames   int
+	FramesFolded int
+}
+
+// agentConn is a registered (or registering) agent as the coordinator
+// loop sees it. All fields are owned by the loop goroutine except conn
+// and out, which the reader/writer goroutines use.
+type agentConn struct {
+	id       int64
+	conn     net.Conn
+	out      chan []byte
+	name     string
+	capacity int
+	owned    map[int]bool
+	ready    bool
+	dead     bool
+	lastSeen time.Time
+	inflight map[uint64]*lease
+}
+
+// vpState tracks one vantage point through a round. Attempts are per
+// vantage point, not per shard: any failed lease bumps the VP's attempt
+// and every subsequent lease of its shards carries the new number, the
+// distributed equivalent of the single-process retry loop re-running the
+// whole VP. One lease is outstanding per VP at a time, so all its shards
+// of an attempt execute at the same attempt number.
+type vpState struct {
+	vp         platform.VP
+	slot       int
+	attempt    int
+	maxAttempt int
+	remaining  int
+	outstanding *lease
+	notBefore  time.Time
+	leasedOnce bool
+	failed     bool
+	dropped    bool
+	lastErr    string
+	samples    int
+}
+
+// unit is one (vantage point, target span) shard of work.
+type unit struct {
+	vs     *vpState
+	lo, hi int
+	done   bool
+}
+
+type lease struct {
+	id       uint64
+	u        *unit
+	agent    *agentConn
+	attempt  int
+	deadline time.Time
+}
+
+type roundResult struct {
+	summary census.RoundSummary
+	err     error
+}
+
+// roundState is the in-flight round.
+type roundState struct {
+	round          uint64
+	states         []*vpState
+	queue          []*unit
+	leases         map[uint64]*lease
+	echo           []uint64
+	echoCount      int
+	probes         int
+	grey           *prober.Greylist
+	start          time.Time
+	agentlessSince time.Time
+	aborted        error
+	result         chan roundResult
+}
+
+// Coordinator runs the control plane: a single loop goroutine owns all
+// round and membership state and consumes closures from cmds, so no
+// handler ever races another; per-connection reader and writer
+// goroutines only decode/encode frames and post closures.
+type Coordinator struct {
+	cfg     Config
+	welcome []byte // pre-encoded welcome frame
+
+	cmds    chan func()
+	quit    chan struct{}
+	stopped chan struct{}
+	wg      sync.WaitGroup
+
+	// Loop-owned state.
+	agents  map[int64]*agentConn
+	nextID  int64
+	leaseID uint64
+	round   *roundState
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// NewCoordinator builds the coordinator and starts its loop. Close it
+// when done.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Campaign == nil {
+		return nil, fmt.Errorf("cluster: coordinator needs a campaign")
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	var snap map[netsim.IP]netsim.ReplyKind
+	if cfg.Blacklist != nil {
+		snap = cfg.Blacklist.Snapshot()
+	}
+	payload, err := encodeMsg(&welcomeMsg{
+		World:     cfg.World,
+		Faults:    cfg.Faults,
+		Census:    cfg.Census,
+		Targets:   cfg.Targets,
+		Blacklist: snap,
+		Heartbeat: cfg.heartbeatEvery(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		welcome: frameBytes(frameWelcome, payload),
+		cmds:    make(chan func(), 256),
+		quit:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		agents:  make(map[int64]*agentConn),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	c.wg.Add(1)
+	go c.loop()
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		c.cfg.Log(format, args...)
+	}
+}
+
+// Stats returns a snapshot of the event counters.
+func (c *Coordinator) Stats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+func (c *Coordinator) bump(f func(*Stats)) {
+	c.statsMu.Lock()
+	f(&c.stats)
+	c.statsMu.Unlock()
+}
+
+// post hands a closure to the loop; it is dropped after shutdown.
+func (c *Coordinator) post(f func()) {
+	select {
+	case c.cmds <- f:
+	case <-c.quit:
+	}
+}
+
+func (c *Coordinator) loop() {
+	defer c.wg.Done()
+	defer close(c.stopped)
+	ticker := time.NewTicker(c.cfg.tick())
+	defer ticker.Stop()
+	for {
+		select {
+		case f := <-c.cmds:
+			f()
+		case <-ticker.C:
+			c.onTick()
+		case <-c.quit:
+			c.shutdown()
+			return
+		}
+	}
+}
+
+// Attach adopts a transport connection to a (future) agent: the magic
+// exchange, framing, and registration all happen on the coordinator's
+// goroutines, so callers just hand over the conn. It is how both
+// Serve-accepted TCP conns and net.Pipe test conns enter the cluster.
+func (c *Coordinator) Attach(conn net.Conn) error {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		conn.Close()
+		return fmt.Errorf("cluster: coordinator is closed")
+	}
+	c.conns[conn] = struct{}{}
+	c.connMu.Unlock()
+
+	a := &agentConn{
+		conn:     conn,
+		out:      make(chan []byte, 1024),
+		lastSeen: time.Now(),
+		inflight: make(map[uint64]*lease),
+	}
+	c.post(func() {
+		c.nextID++
+		a.id = c.nextID
+		c.agents[a.id] = a
+	})
+
+	c.wg.Add(2)
+	go c.writeLoop(a)
+	go c.readLoop(a)
+	return nil
+}
+
+// Serve accepts agent connections until the listener closes.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-c.quit:
+				return nil
+			default:
+				return err
+			}
+		}
+		if err := c.Attach(conn); err != nil {
+			return nil
+		}
+	}
+}
+
+// writeLoop drains an agent's outbound queue. The magic goes out first,
+// concurrently with readLoop waiting for the peer's magic — on an
+// unbuffered net.Pipe neither side may block the other's handshake.
+func (c *Coordinator) writeLoop(a *agentConn) {
+	defer c.wg.Done()
+	if _, err := a.conn.Write([]byte(streamMagic)); err != nil {
+		return // readLoop notices the dead conn and reports it
+	}
+	for {
+		select {
+		case b, ok := <-a.out:
+			if !ok {
+				return
+			}
+			if _, err := a.conn.Write(b); err != nil {
+				// Discard the rest until the loop closes the channel
+				// (the reader reports the dead connection) or the
+				// coordinator shuts down.
+				for {
+					select {
+					case _, ok := <-a.out:
+						if !ok {
+							return
+						}
+					case <-c.quit:
+						return
+					}
+				}
+			}
+		case <-c.quit:
+			// Shutdown: flush whatever the loop already queued (the
+			// shutdown frame, best-effort) and exit — the channel may
+			// never close if this conn was still registering.
+			for {
+				select {
+				case b, ok := <-a.out:
+					if !ok {
+						return
+					}
+					if _, err := a.conn.Write(b); err != nil {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (c *Coordinator) readLoop(a *agentConn) {
+	defer c.wg.Done()
+	err := c.readFrames(a)
+	c.post(func() { c.dropAgent(a, fmt.Sprintf("connection lost: %v", err)) })
+}
+
+func (c *Coordinator) readFrames(a *agentConn) error {
+	if err := readMagic(a.conn); err != nil {
+		return err
+	}
+	for {
+		typ, payload, err := readFrame(a.conn, c.cfg.MaxFrame)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case frameHello:
+			var hello helloMsg
+			if err := decodeMsg(payload, &hello); err != nil {
+				return err
+			}
+			c.post(func() { c.onHello(a, hello) })
+		case frameRows:
+			id, frame, err := splitRowsPayload(payload)
+			if err != nil {
+				return err
+			}
+			sr, err := census.DecodeShardRows(frame)
+			if err != nil {
+				return fmt.Errorf("cluster: agent %q sent a bad shard frame: %w", a.name, err)
+			}
+			c.post(func() { c.onRows(a, id, sr) })
+		case frameFail:
+			var fail failMsg
+			if err := decodeMsg(payload, &fail); err != nil {
+				return err
+			}
+			c.post(func() { c.onFail(a, fail) })
+		case frameHeartbeat:
+			c.post(func() { a.lastSeen = time.Now() })
+		default:
+			return fmt.Errorf("cluster: unexpected frame type %d from agent", typ)
+		}
+	}
+}
+
+// send enqueues a frame to an agent without ever blocking the loop: an
+// agent that stops draining its queue is dropped, and its leases
+// re-issued, exactly as if it had hung.
+func (c *Coordinator) send(a *agentConn, b []byte) {
+	if a.dead {
+		return
+	}
+	select {
+	case a.out <- b:
+	default:
+		c.dropAgent(a, "outbound queue overflow")
+	}
+}
+
+func (c *Coordinator) onHello(a *agentConn, hello helloMsg) {
+	if a.dead || a.ready {
+		return
+	}
+	a.name = hello.Name
+	a.capacity = hello.Capacity
+	if a.capacity <= 0 {
+		a.capacity = 1
+	}
+	a.owned = make(map[int]bool, len(hello.OwnedVPs))
+	for _, id := range hello.OwnedVPs {
+		a.owned[id] = true
+	}
+	a.ready = true
+	a.lastSeen = time.Now()
+	c.bump(func(s *Stats) { s.AgentsJoined++ })
+	c.logf("cluster: agent %q joined (capacity %d)", a.name, a.capacity)
+	c.send(a, c.welcome)
+	if c.round != nil {
+		c.round.agentlessSince = time.Time{}
+		c.dispatch()
+	}
+}
+
+func (c *Coordinator) onRows(a *agentConn, leaseID uint64, sr *census.ShardRows) {
+	if a.dead {
+		return
+	}
+	a.lastSeen = time.Now()
+	r := c.round
+	if r == nil {
+		c.bump(func(s *Stats) { s.LateFrames++ })
+		return
+	}
+	l, ok := r.leases[leaseID]
+	if !ok || l.agent != a {
+		// The lease expired (its agent was presumed dead and the shard
+		// re-leased) or belongs to another connection: the fold already
+		// happened or will happen elsewhere, and folding twice would be
+		// harmless but the accounting would double. Drop it.
+		c.bump(func(s *Stats) { s.LateFrames++ })
+		return
+	}
+	u := l.u
+	if sr.Round != r.round || sr.Lo != u.lo || sr.Hi != u.hi ||
+		len(sr.Slots) != 1 || sr.Slots[0] != u.vs.slot || len(sr.RTTus) != 1 {
+		c.dropAgent(a, fmt.Sprintf("shard frame disagrees with lease %d", leaseID))
+		return
+	}
+	if err := c.cfg.Campaign.FoldShard(sr); err != nil {
+		// FoldShard validates before mutating, so the campaign is
+		// intact; the agent is speaking nonsense and goes.
+		c.dropAgent(a, fmt.Sprintf("fold of lease %d: %v", leaseID, err))
+		return
+	}
+	c.bump(func(s *Stats) { s.FramesFolded++ })
+
+	if len(sr.Stats) == 1 {
+		r.probes += sr.Stats[0].Sent
+	}
+	for t, v := range sr.RTTus[0] {
+		if v == census.NoSample {
+			continue
+		}
+		u.vs.samples++
+		gt := u.lo + t
+		if r.echo[gt>>6]&(1<<uint(gt&63)) == 0 {
+			r.echo[gt>>6] |= 1 << uint(gt&63)
+			r.echoCount++
+		}
+	}
+	if sr.Greylist != nil {
+		r.grey.Merge(sr.Greylist)
+	}
+
+	delete(r.leases, leaseID)
+	delete(a.inflight, leaseID)
+	u.done = true
+	u.vs.outstanding = nil
+	u.vs.remaining--
+	c.dispatch()
+	c.checkRoundDone()
+}
+
+func (c *Coordinator) onFail(a *agentConn, fail failMsg) {
+	if a.dead {
+		return
+	}
+	a.lastSeen = time.Now()
+	r := c.round
+	if r == nil {
+		c.bump(func(s *Stats) { s.LateFrames++ })
+		return
+	}
+	l, ok := r.leases[fail.ID]
+	if !ok || l.agent != a {
+		c.bump(func(s *Stats) { s.LateFrames++ })
+		return
+	}
+	delete(r.leases, fail.ID)
+	delete(a.inflight, fail.ID)
+	c.failLease(l, fail.Err)
+	c.dispatch()
+	c.checkRoundDone()
+}
+
+// failLease returns a failed lease's shard to the queue under the
+// single-process retry policy: the vantage point's attempt counter bumps
+// past the failed attempt, the next lease waits out the same capped
+// exponential backoff ExecuteContext would sleep, and a VP whose budget
+// is exhausted is quarantined — its remaining shards are abandoned and
+// its partial row keeps whatever samples earlier shards folded.
+func (c *Coordinator) failLease(l *lease, errStr string) {
+	vs := l.u.vs
+	vs.outstanding = nil
+	vs.failed = true
+	vs.lastErr = errStr
+	if l.attempt >= vs.attempt {
+		vs.attempt = l.attempt + 1
+	}
+	if vs.attempt >= c.cfg.Census.Attempts() {
+		if !vs.dropped {
+			vs.dropped = true
+			c.logf("cluster: VP %s quarantined after %d attempts: %s", vs.vp.Name, vs.attempt, errStr)
+		}
+		return
+	}
+	vs.notBefore = time.Now().Add(c.cfg.Census.Backoff(vs.attempt))
+	c.round.queue = append(c.round.queue, l.u)
+	c.bump(func(s *Stats) { s.ReLeases++ })
+}
+
+// dropAgent removes an agent from the cluster and fails its in-flight
+// leases so their shards re-lease elsewhere.
+func (c *Coordinator) dropAgent(a *agentConn, reason string) {
+	if a.dead {
+		return
+	}
+	a.dead = true
+	delete(c.agents, a.id)
+	close(a.out)
+	a.conn.Close()
+	c.connMu.Lock()
+	delete(c.conns, a.conn)
+	c.connMu.Unlock()
+	if a.ready {
+		c.bump(func(s *Stats) { s.AgentsLost++ })
+		c.logf("cluster: agent %q lost: %s", a.name, reason)
+	}
+	lost := make([]*lease, 0, len(a.inflight))
+	for _, l := range a.inflight {
+		lost = append(lost, l)
+	}
+	a.inflight = nil
+	if r := c.round; r != nil {
+		for _, l := range lost {
+			delete(r.leases, l.id)
+			c.failLease(l, fmt.Sprintf("agent %q lost: %s", a.name, reason))
+		}
+		c.dispatch()
+		c.checkRoundDone()
+	}
+}
+
+func (c *Coordinator) onTick() {
+	now := time.Now()
+	r := c.round
+	if r == nil {
+		return
+	}
+	// Expired leases mean a hung (not disconnected) agent: presume the
+	// whole agent dead rather than re-lease around it, or it keeps
+	// winning leases and burning the retry budget.
+	var hung []*agentConn
+	for _, l := range r.leases {
+		if now.After(l.deadline) && !l.agent.dead {
+			hung = append(hung, l.agent)
+		}
+	}
+	for _, a := range hung {
+		if !a.dead {
+			c.bump(func(s *Stats) { s.Expired++ })
+			c.dropAgent(a, "lease past deadline")
+		}
+	}
+	live := 0
+	for _, a := range c.agents {
+		if a.ready && !a.dead {
+			live++
+		}
+	}
+	if live == 0 {
+		if r.agentlessSince.IsZero() {
+			r.agentlessSince = now
+		} else if now.Sub(r.agentlessSince) > c.cfg.agentGrace() {
+			r.aborted = fmt.Errorf("cluster: round %d: no agents for %v", r.round, c.cfg.agentGrace())
+		}
+	} else {
+		r.agentlessSince = time.Time{}
+	}
+	c.dispatch()
+	c.checkRoundDone()
+}
+
+// dispatch hands queued shards to agents: one outstanding lease per
+// vantage point, owner-affinity first, least-loaded otherwise. It
+// snapshots the queue before iterating — issuing a lease can drop an
+// agent (queue overflow), which re-appends failed units to the queue.
+func (c *Coordinator) dispatch() {
+	r := c.round
+	if r == nil || len(r.queue) == 0 {
+		return
+	}
+	now := time.Now()
+	pending := r.queue
+	r.queue = nil
+	for _, u := range pending {
+		vs := u.vs
+		if u.done || vs.dropped {
+			continue
+		}
+		if vs.outstanding != nil || now.Before(vs.notBefore) {
+			r.queue = append(r.queue, u)
+			continue
+		}
+		a := c.pickAgent(vs.vp.ID)
+		if a == nil {
+			r.queue = append(r.queue, u)
+			continue
+		}
+		c.issueLease(r, u, a)
+	}
+}
+
+// pickAgent chooses the least-loaded ready agent with spare capacity,
+// preferring one that owns the vantage point; ties break on agent ID so
+// placement is deterministic for a given membership state.
+func (c *Coordinator) pickAgent(vpID int) *agentConn {
+	var best *agentConn
+	better := func(a, b *agentConn) bool {
+		if b == nil {
+			return true
+		}
+		ao, bo := a.owned[vpID], b.owned[vpID]
+		if ao != bo {
+			return ao
+		}
+		if len(a.inflight) != len(b.inflight) {
+			return len(a.inflight) < len(b.inflight)
+		}
+		return a.id < b.id
+	}
+	for _, a := range c.agents {
+		if !a.ready || a.dead || len(a.inflight) >= a.capacity {
+			continue
+		}
+		if better(a, best) {
+			best = a
+		}
+	}
+	return best
+}
+
+func (c *Coordinator) issueLease(r *roundState, u *unit, a *agentConn) {
+	vs := u.vs
+	c.leaseID++
+	l := &lease{
+		id:       c.leaseID,
+		u:        u,
+		agent:    a,
+		attempt:  vs.attempt,
+		deadline: time.Now().Add(c.cfg.leaseTTL()),
+	}
+	payload, err := encodeMsg(&leaseMsg{
+		ID:      l.id,
+		Round:   r.round,
+		Attempt: l.attempt,
+		Slot:    vs.slot,
+		VP:      vs.vp,
+		Lo:      u.lo,
+		Hi:      u.hi,
+	})
+	if err != nil {
+		// A lease that cannot encode cannot execute anywhere; abort.
+		r.aborted = err
+		return
+	}
+	r.leases[l.id] = l
+	a.inflight[l.id] = l
+	vs.outstanding = l
+	vs.leasedOnce = true
+	if l.attempt > vs.maxAttempt {
+		vs.maxAttempt = l.attempt
+	}
+	c.bump(func(s *Stats) { s.Leases++ })
+	c.send(a, frameBytes(frameLease, payload))
+}
+
+func (c *Coordinator) checkRoundDone() {
+	r := c.round
+	if r == nil {
+		return
+	}
+	if r.aborted == nil {
+		for _, vs := range r.states {
+			if vs.remaining > 0 && !vs.dropped {
+				return
+			}
+		}
+	}
+	c.finishRound(r)
+}
+
+// finishRound folds the round's health into the campaign — in the same
+// shape the in-process executor builds — and wakes ExecuteRound.
+func (c *Coordinator) finishRound(r *roundState) {
+	c.round = nil
+	perVP := make([]census.VPHealth, len(r.states))
+	rowSamples := make([]int, len(r.states))
+	var errs []error
+	for i, vs := range r.states {
+		vh := census.VPHealth{VP: vs.vp.Name}
+		if vs.leasedOnce {
+			vh.Attempts = vs.maxAttempt + 1
+		}
+		switch {
+		case vs.dropped:
+			vh.Quarantined = true
+			vh.Err = vs.lastErr
+			errs = append(errs, fmt.Errorf("census: VP %s quarantined after %d attempts: %s",
+				vs.vp.Name, vh.Attempts, vs.lastErr))
+		case vs.remaining > 0:
+			// Round aborted under it.
+			if !vs.leasedOnce {
+				vh.Skipped = true
+			} else {
+				vh.Err = "round aborted"
+			}
+		case vs.failed:
+			vh.Recovered = true
+		}
+		perVP[i] = vh
+		rowSamples[i] = vs.samples
+	}
+	h := census.BuildRunHealth(r.round, perVP, rowSamples)
+	if err := c.cfg.Campaign.FinishRound(h); err != nil {
+		errs = append(errs, err)
+	}
+	if r.aborted != nil {
+		errs = append(errs, r.aborted)
+	}
+	r.result <- roundResult{
+		summary: census.RoundSummary{
+			Round:       r.round,
+			VPs:         len(r.states),
+			Probes:      r.probes,
+			EchoTargets: r.echoCount,
+			GreylistLen: r.grey.Len(),
+			Health:      h,
+			Duration:    time.Since(r.start),
+		},
+		err: errors.Join(errs...),
+	}
+}
+
+// ExecuteRound runs one census round across the cluster: it opens the
+// round on the campaign, shards every vantage point's row into leases,
+// and returns when all shards folded (or the round aborted). The
+// summary mirrors the single-process Campaign.ExecuteRound.
+func (c *Coordinator) ExecuteRound(ctx context.Context, round uint64, vps []platform.VP) (census.RoundSummary, error) {
+	result := make(chan roundResult, 1)
+	c.post(func() { c.startRound(round, vps, result) })
+	select {
+	case res := <-result:
+		return res.summary, res.err
+	case <-ctx.Done():
+		c.post(func() {
+			if c.round != nil && c.round.result == result {
+				c.round.aborted = ctx.Err()
+				c.finishRound(c.round)
+			}
+		})
+		res := <-result
+		return res.summary, res.err
+	case <-c.stopped:
+		return census.RoundSummary{}, fmt.Errorf("cluster: coordinator closed")
+	}
+}
+
+func (c *Coordinator) startRound(round uint64, vps []platform.VP, result chan roundResult) {
+	fail := func(err error) {
+		result <- roundResult{err: err}
+	}
+	if c.round != nil {
+		fail(fmt.Errorf("cluster: round %d already executing", c.round.round))
+		return
+	}
+	slots, err := c.cfg.Campaign.BeginRound(round, c.cfg.Targets, vps)
+	if err != nil {
+		fail(err)
+		return
+	}
+	spans := census.ShardSpans(len(c.cfg.Targets), c.cfg.ShardTargets)
+	r := &roundState{
+		round:  round,
+		states: make([]*vpState, len(vps)),
+		leases: make(map[uint64]*lease),
+		echo:   make([]uint64, (len(c.cfg.Targets)+63)/64),
+		grey:   prober.NewGreylist(),
+		start:  time.Now(),
+		result: result,
+	}
+	for vi, vp := range vps {
+		vs := &vpState{vp: vp, slot: slots[vi], remaining: len(spans)}
+		r.states[vi] = vs
+		for _, sp := range spans {
+			r.queue = append(r.queue, &unit{vs: vs, lo: sp.Lo, hi: sp.Hi})
+		}
+	}
+	c.round = r
+	c.dispatch()
+	c.checkRoundDone() // zero targets or zero VPs finish immediately
+}
+
+// shutdown runs on the loop goroutine when Close is called: the active
+// round aborts, agents get a best-effort shutdown frame, and every
+// outbound queue closes so the writers drain and exit.
+func (c *Coordinator) shutdown() {
+	if r := c.round; r != nil {
+		r.aborted = fmt.Errorf("cluster: coordinator closed")
+		c.finishRound(r)
+	}
+	for _, a := range c.agents {
+		if a.dead {
+			continue
+		}
+		a.dead = true
+		select {
+		case a.out <- frameBytes(frameShutdown, nil):
+		default:
+		}
+		close(a.out)
+	}
+	c.agents = map[int64]*agentConn{}
+}
+
+// Close stops the coordinator: the loop drains, agents are told to shut
+// down, and every connection closes. Safe to call more than once.
+func (c *Coordinator) Close() error {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		c.wg.Wait()
+		return nil
+	}
+	c.closed = true
+	c.connMu.Unlock()
+
+	close(c.quit)
+	<-c.stopped
+
+	c.connMu.Lock()
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.conns = map[net.Conn]struct{}{}
+	c.connMu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	c.wg.Wait()
+	return nil
+}

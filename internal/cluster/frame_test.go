@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello census")
+	b := frameBytes(frameLease, payload)
+	typ, got, err := readFrame(bytes.NewReader(b), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != frameLease || !bytes.Equal(got, payload) {
+		t.Fatalf("round-trip: type %d payload %q", typ, got)
+	}
+	// Empty payloads (heartbeat, shutdown) are legal.
+	typ, got, err = readFrame(bytes.NewReader(frameBytes(frameHeartbeat, nil)), 0)
+	if err != nil || typ != frameHeartbeat || len(got) != 0 {
+		t.Fatalf("empty payload: %d %q %v", typ, got, err)
+	}
+}
+
+func TestReadFrameRejectsHostileLengths(t *testing.T) {
+	// A declared length of zero carries no type byte.
+	zero := make([]byte, 4)
+	if _, _, err := readFrame(bytes.NewReader(zero), 0); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	// A giant declared length must be rejected before allocation, not
+	// trusted into make().
+	giant := make([]byte, 4)
+	binary.BigEndian.PutUint32(giant, 0xFFFFFFFF)
+	if _, _, err := readFrame(bytes.NewReader(giant), 0); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("giant frame: %v", err)
+	}
+	// The configured cap applies too.
+	big := frameBytes(frameRows, make([]byte, 1024))
+	if _, _, err := readFrame(bytes.NewReader(big), 128); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("over-cap frame: %v", err)
+	}
+	// Truncated header and truncated body both fail cleanly.
+	if _, _, err := readFrame(bytes.NewReader(big[:2]), 0); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, _, err := readFrame(bytes.NewReader(big[:20]), 0); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestReadMagic(t *testing.T) {
+	if err := readMagic(strings.NewReader(streamMagic + "rest")); err != nil {
+		t.Fatal(err)
+	}
+	if err := readMagic(strings.NewReader("HTTP/1.1 400\r\n")); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	if err := readMagic(strings.NewReader("ACM")); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+}
+
+func TestRowsPayloadRoundTrip(t *testing.T) {
+	frame := []byte{1, 2, 3}
+	id, rest, err := splitRowsPayload(rowsPayload(1<<40+7, frame))
+	if err != nil || id != 1<<40+7 || !bytes.Equal(rest, frame) {
+		t.Fatalf("round-trip: id=%d rest=%v err=%v", id, rest, err)
+	}
+	if _, _, err := splitRowsPayload(nil); err == nil {
+		t.Fatal("empty rows payload accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"anycastmap/internal/census"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+)
+
+// Control messages ride as gob payloads: they are small and infrequent
+// (a handful per lease), so codec ergonomics beat density. The hot path
+// — result rows — uses the hand-rolled v2 columnar codec instead
+// (census.ShardRows), where density and byte-determinism matter.
+
+// helloMsg registers an agent with the coordinator.
+type helloMsg struct {
+	// Name identifies the agent in logs and health reports.
+	Name string
+	// Capacity is how many leases the agent executes concurrently;
+	// zero means 1.
+	Capacity int
+	// OwnedVPs lists vantage-point IDs the agent prefers to execute
+	// (platform affinity: the VP "runs on" this agent). The coordinator
+	// honours the preference when the owner has capacity and falls back
+	// to any agent otherwise.
+	OwnedVPs []int
+}
+
+// welcomeMsg equips a fresh agent to probe: the deterministic world to
+// rebuild (or share, in-process), the fault weather, the probing
+// configuration, and the round-invariant target list and blacklist so
+// leases only need to carry spans.
+type welcomeMsg struct {
+	World     netsim.Config
+	Faults    *netsim.FaultConfig
+	Census    census.Config
+	Targets   []netsim.IP
+	Blacklist map[netsim.IP]netsim.ReplyKind
+	Heartbeat time.Duration
+}
+
+// leaseMsg assigns one shard of one vantage point's round to an agent.
+type leaseMsg struct {
+	ID      uint64
+	Round   uint64
+	Attempt int
+	// Slot is the vantage point's row slot in the coordinator's
+	// combined matrix; the agent echoes it in the result frame.
+	Slot int
+	VP   platform.VP
+	// Lo, Hi is the target span [Lo, Hi) within the welcome target
+	// list.
+	Lo, Hi int
+}
+
+// failMsg reports a lease the agent could not complete. Crash marks an
+// injected VP crash (retryable infrastructure failure) as opposed to a
+// wire-path error.
+type failMsg struct {
+	ID    uint64
+	Err   string
+	Crash bool
+}
+
+func encodeMsg(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("cluster: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeMsg(payload []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("cluster: decode %T: %w", v, err)
+	}
+	return nil
+}
+
+// rowsPayload frames a shard result: uvarint lease ID, then the encoded
+// census.ShardRows frame.
+func rowsPayload(leaseID uint64, frame []byte) []byte {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], leaseID)
+	out := make([]byte, 0, n+len(frame))
+	out = append(out, hdr[:n]...)
+	return append(out, frame...)
+}
+
+// splitRowsPayload undoes rowsPayload.
+func splitRowsPayload(payload []byte) (uint64, []byte, error) {
+	id, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("cluster: rows frame missing lease ID")
+	}
+	return id, payload[n:], nil
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"context"
+	"reflect"
 	"testing"
 	"time"
 
@@ -67,6 +68,39 @@ func TestCensusSourceBuildsServableSnapshot(t *testing.T) {
 	}
 	if snap2.Round() != 2 {
 		t.Errorf("second build round = %d, want 2", snap2.Round())
+	}
+}
+
+// A distributed refresh — the rounds leased out to an in-process agent
+// fleet — must publish the exact snapshot the in-process executor
+// builds: same entries, same health, same round bookkeeping.
+func TestCensusSourceDistributedMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real census rounds")
+	}
+	local := smallSource(t)
+	localSnap, err := local.Build(context.Background())
+	if err != nil {
+		t.Fatalf("local build: %v", err)
+	}
+
+	dist := smallSource(t)
+	dist.Agents = 4
+	distSnap, err := dist.Build(context.Background())
+	if err != nil {
+		t.Fatalf("distributed build: %v", err)
+	}
+
+	if !reflect.DeepEqual(localSnap.Entries(), distSnap.Entries()) {
+		t.Fatalf("distributed snapshot entries diverge: %d local vs %d distributed",
+			len(localSnap.Entries()), len(distSnap.Entries()))
+	}
+	if !reflect.DeepEqual(localSnap.Health(), distSnap.Health()) {
+		t.Fatalf("health diverges: %+v vs %+v", localSnap.Health(), distSnap.Health())
+	}
+	if localSnap.Round() != distSnap.Round() || localSnap.Rounds() != distSnap.Rounds() {
+		t.Fatalf("round bookkeeping diverges: %d/%d vs %d/%d",
+			localSnap.Round(), localSnap.Rounds(), distSnap.Round(), distSnap.Rounds())
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"anycastmap/internal/bgp"
 	"anycastmap/internal/census"
 	"anycastmap/internal/cities"
+	"anycastmap/internal/cluster"
 	"anycastmap/internal/core"
 	"anycastmap/internal/hitlist"
 	"anycastmap/internal/netsim"
@@ -169,6 +170,11 @@ type CensusSource struct {
 	Seed   uint64
 	// MinSamples gates analysis like census.AnalyzeAll (minimum 2).
 	MinSamples int
+	// Agents, when positive, runs each refresh's rounds distributed
+	// across that many in-process cluster agents (a coordinator leasing
+	// target shards to a net.Pipe fleet) instead of the in-process
+	// executor. The published snapshot is byte-identical either way.
+	Agents int
 
 	round atomic.Uint64
 }
@@ -202,6 +208,35 @@ func (cs *CensusSource) Build(ctx context.Context) (*Snapshot, error) {
 	cfg := cs.Census
 	cfg.Seed = cs.Seed
 	cp := census.NewCampaign(census.CampaignConfig{Census: cfg})
+	execute := func(ctx context.Context, round uint64, vps []platform.VP) error {
+		_, err := cp.ExecuteRound(ctx, cs.World, vps, cs.Hitlist, cs.Blacklist, round)
+		return err
+	}
+	if cs.Agents > 0 {
+		coord, err := cluster.NewCoordinator(cluster.Config{
+			Campaign:  cp,
+			Targets:   cs.Hitlist.Targets(),
+			Blacklist: cs.Blacklist,
+			Census:    cfg,
+			World:     cs.World.Config(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		fleet, err := cluster.NewHarness(coord, cluster.HarnessConfig{
+			Agents: cs.Agents,
+			Agent:  cluster.AgentConfig{World: cs.World, Capacity: 2},
+		})
+		if err != nil {
+			coord.Close()
+			return nil, err
+		}
+		defer fleet.Close()
+		execute = func(ctx context.Context, round uint64, vps []platform.VP) error {
+			_, err := coord.ExecuteRound(ctx, round, vps)
+			return err
+		}
+	}
 	var degraded error
 	var last uint64
 	for i := 0; i < cs.rounds(); i++ {
@@ -210,7 +245,7 @@ func (cs *CensusSource) Build(ctx context.Context) (*Snapshot, error) {
 		}
 		last = cs.round.Add(1)
 		vps := cs.Platform.Sample(cs.vpsPerRound(), cs.Seed+last)
-		if _, err := cp.ExecuteRound(ctx, cs.World, vps, cs.Hitlist, cs.Blacklist, last); err != nil {
+		if err := execute(ctx, last, vps); err != nil {
 			if ctx.Err() != nil {
 				return nil, err
 			}
