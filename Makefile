@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify clean bench bench-smoke bench-json stream-smoke analyze-smoke cluster-smoke profile
+.PHONY: all build vet test race verify clean bench bench-smoke bench-json stream-smoke analyze-smoke cluster-smoke metrics-smoke profile
 
 all: verify
 
@@ -63,6 +63,13 @@ cluster-smoke:
 	$(GO) run ./cmd/censusd -local 4 -transport pipe -unicast24s 6000 -censuses 3 -vps 24 \
 		-retries 50 -retry-backoff 1ms -churn-every 25 -respawn \
 		-fault-crash 0.25 -exit-on-crash -verify
+
+# metrics-smoke boots anycastd (with a 2-agent distributed census) and a
+# censusd coordinator against tiny worlds, scrapes GET /metrics on both,
+# and fails unless every required series family is present: probe,
+# census, store, cluster, and per-endpoint HTTP.
+metrics-smoke:
+	./scripts/metrics_smoke.sh
 
 # profile captures CPU and heap profiles of a full census run; inspect
 # with `go tool pprof cpu.pprof`.

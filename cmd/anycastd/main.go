@@ -7,6 +7,7 @@
 //	POST /v1/lookup/batch               JSON list of IPs -> one answer each
 //	GET  /v1/snapshot                   index version, census round, counts
 //	GET  /v1/stats                      per-endpoint latency + cache hit rates
+//	GET  /metrics                       Prometheus text exposition
 //	GET  /healthz                       liveness/readiness
 //
 // while a background refresher keeps re-running census rounds and
@@ -27,8 +28,10 @@ import (
 	"anycastmap/internal/bgp"
 	"anycastmap/internal/census"
 	"anycastmap/internal/cities"
+	"anycastmap/internal/cluster"
 	"anycastmap/internal/hitlist"
 	"anycastmap/internal/netsim"
+	"anycastmap/internal/obs"
 	"anycastmap/internal/platform"
 	"anycastmap/internal/prober"
 	"anycastmap/internal/store"
@@ -39,6 +42,7 @@ func main() {
 	unicast := flag.Int("unicast24s", 6000, "unicast /24 background size")
 	rounds := flag.Int("censuses", 2, "census rounds combined per snapshot")
 	vpsPer := flag.Int("vps", 261, "vantage points per census round")
+	agents := flag.Int("agents", 0, "run census rounds across this many in-process cluster agents (0 = in-process executor)")
 	seed := flag.Uint64("seed", 2015, "world seed")
 	rate := flag.Float64("rate", 1000, "probing rate per VP (probes/s)")
 	workers := flag.Int("workers", 0, "vantage points probing concurrently (0 = GOMAXPROCS)")
@@ -97,6 +101,14 @@ func main() {
 			*faultCrash, *faultSticky, *faultFlap, *faultBurst, *faultOutage, fseed)
 	}
 
+	// One registry serves every layer's series at GET /metrics: the
+	// prober's packet counters, the campaign/analyzer instruments, the
+	// cluster control plane (when -agents is set), the store/refresher
+	// read-throughs and the per-endpoint HTTP series.
+	reg := obs.NewRegistry()
+	prober.DefaultMetrics.Register(reg)
+	prober.RegisterGreylistGauge(reg, black, "blacklist")
+
 	src := &store.CensusSource{
 		World:       world,
 		Cities:      db,
@@ -108,10 +120,16 @@ func main() {
 		Rounds:      *rounds,
 		VPsPerRound: *vpsPer,
 		Seed:        *seed,
+		Agents:      *agents,
+		Metrics:     census.NewMetrics(reg),
 		Census: census.Config{
 			Seed: *seed, Rate: *rate, Workers: *workers,
 			MaxAttempts: *retries, RetryBackoff: *retryBackoff,
 		},
+	}
+	if *agents > 0 {
+		src.ClusterMetrics = cluster.NewMetrics(reg)
+		log.Printf("census rounds distributed across %d in-process agents", *agents)
 	}
 	log.Printf("probing with %d concurrent vantage points per census", src.Census.EffectiveWorkers())
 
@@ -122,15 +140,19 @@ func main() {
 	r := store.NewRefresher(st, src, *refresh)
 	r.Log = log.Printf
 
-	// First snapshot synchronously, so the daemon comes up ready.
+	// First snapshot synchronously, so the daemon usually comes up ready.
+	// A failed initial build is no longer fatal: Run retries it on a
+	// short backoff in the background while /healthz answers "starting",
+	// so a transient source error can't keep the daemon down.
 	start := time.Now()
 	log.Printf("building initial snapshot (%d census rounds)...", *rounds)
 	if !r.RefreshOnce(ctx) {
-		log.Fatalf("initial census failed after %v", time.Since(start).Round(time.Millisecond))
+		log.Printf("initial census failed after %v; serving unready, retrying in background",
+			time.Since(start).Round(time.Millisecond))
 	}
 	go r.Run(ctx)
 
-	api := store.NewAPI(st, r, store.APIConfig{MaxInFlight: *maxInFlight})
+	api := store.NewAPI(st, r, store.APIConfig{MaxInFlight: *maxInFlight, Metrics: reg})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           api,

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"reflect"
 	"time"
 
@@ -34,6 +35,7 @@ import (
 	"anycastmap/internal/core"
 	"anycastmap/internal/hitlist"
 	"anycastmap/internal/netsim"
+	"anycastmap/internal/obs"
 	"anycastmap/internal/platform"
 	"anycastmap/internal/prober"
 )
@@ -62,6 +64,7 @@ func main() {
 	shardTargets := flag.Int("shard-targets", 0, "lease width in targets (0 = one lease per VP row)")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "how long an agent may hold a lease")
 	heartbeat := flag.Duration("heartbeat", time.Second, "agent heartbeat interval")
+	metricsAddr := flag.String("metrics", "", "coordinator modes: serve GET /metrics on this admin address")
 
 	// Failure weather (local mode).
 	churnEvery := flag.Int("churn-every", 0, "kill each agent's connection after this many row frames")
@@ -144,8 +147,34 @@ func main() {
 			*faultCrash, *faultSticky, *faultFlap, *faultBurst, *faultOutage, fseed)
 	}
 
+	// The optional admin listener exposes the coordinator's view of the
+	// census in Prometheus text: prober, campaign/analyzer and cluster
+	// control-plane series.
+	var censusMetrics *census.Metrics
+	var clusterMetrics *cluster.Metrics
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		prober.DefaultMetrics.Register(reg)
+		prober.RegisterGreylistGauge(reg, black, "blacklist")
+		censusMetrics = census.NewMetrics(reg)
+		clusterMetrics = cluster.NewMetrics(reg)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listen: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", ln.Addr())
+	}
+
 	ccfg := census.Config{Seed: *seed, Rate: *rate, MaxAttempts: *retries, RetryBackoff: *retryBackoff}
-	cp := census.NewCampaign(census.CampaignConfig{Census: ccfg})
+	cp := census.NewCampaign(census.CampaignConfig{Census: ccfg, Metrics: censusMetrics})
 	coord, err := cluster.NewCoordinator(cluster.Config{
 		Campaign:       cp,
 		Targets:        targets.Targets(),
@@ -157,6 +186,7 @@ func main() {
 		LeaseTTL:       *leaseTTL,
 		HeartbeatEvery: *heartbeat,
 		Log:            log.Printf,
+		Metrics:        clusterMetrics,
 	})
 	if err != nil {
 		log.Fatalf("coordinator: %v", err)

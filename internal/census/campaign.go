@@ -51,6 +51,12 @@ type CampaignConfig struct {
 	// and before it is discarded: the hook is where cmd/census persists
 	// rounds to disk in the v2 format. An error aborts the campaign.
 	OnRun func(*Run) error
+	// Metrics, when set, receives fold/analysis observations (rounds
+	// folded, fold and analyze latency, dirty-set and greylist sizes,
+	// certificate hit counters). The instrument set usually outlives the
+	// campaign: daemons register one Metrics per process and thread it
+	// through every campaign they build.
+	Metrics *Metrics
 }
 
 func (c CampaignConfig) foldWorkers() int {
@@ -119,6 +125,7 @@ type RoundSummary struct {
 // folded before it. After FoldRun returns the campaign holds no reference
 // to the run's matrix unless RetainRuns is set.
 func (cp *Campaign) FoldRun(run *Run) error {
+	foldStart := time.Now()
 	if cp.shardOpen {
 		return fmt.Errorf("census: round %d is folding by shards; FinishRound first", cp.shardRound)
 	}
@@ -251,6 +258,7 @@ func (cp *Campaign) FoldRun(run *Run) error {
 
 	cp.grey.Merge(run.Greylist)
 	cp.health.Add(run.Health)
+	cp.cfg.Metrics.foldObserved(time.Since(foldStart), cp.grey.Len())
 	if cp.cfg.RetainRuns {
 		cp.runs = append(cp.runs, run)
 	}
@@ -312,8 +320,11 @@ func (cp *Campaign) Analyzer() *Analyzer { return cp.analyzer }
 func (cp *Campaign) AnalyzeDirty() int {
 	t0 := time.Now()
 	dirty := cp.TakeDirty()
+	before := cp.analyzer.Stats()
 	cp.analyzer.Update(cp.combined, dirty)
-	cp.analysisWall.Add(int64(time.Since(t0)))
+	d := time.Since(t0)
+	cp.analysisWall.Add(int64(d))
+	cp.cfg.Metrics.analyzeObserved(d, len(dirty), before, cp.analyzer.Stats())
 	return len(dirty)
 }
 

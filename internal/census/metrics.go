@@ -1,0 +1,83 @@
+package census
+
+import (
+	"time"
+
+	"anycastmap/internal/obs"
+)
+
+// Metrics is the campaign/analyzer instrument set, registered once per
+// process and shared by every Campaign a daemon builds (a refresher
+// builds a fresh Campaign per snapshot; the counters must outlive each
+// one to be a usable time series). All observation helpers are nil-safe
+// so campaigns without metrics pay a single pointer test.
+type Metrics struct {
+	// RoundsFolded counts census rounds folded into a combined matrix,
+	// whether by FoldRun or the distributed shard path's FinishRound.
+	RoundsFolded *obs.Counter
+	// FoldSeconds is the latency of folding one finished round.
+	FoldSeconds *obs.Histogram
+	// AnalyzeSeconds is the latency of one analysis pass — an
+	// incremental AnalyzeDirty or a batch AnalyzeAll.
+	AnalyzeSeconds *obs.Histogram
+	// DirtyTargets is the dirty-set size of the most recent
+	// incremental analysis.
+	DirtyTargets *obs.Gauge
+	// GreylistSize is the campaign greylist size after the most recent
+	// fold.
+	GreylistSize *obs.Gauge
+	// Analyses counts per-target analyses; CertHits the ones decided by
+	// revalidating a cached detection certificate, FullScans the ones
+	// that paid the full detection pass. CertHits + FullScans ==
+	// Analyses, mirroring AnalyzerStats.
+	Analyses  *obs.Counter
+	CertHits  *obs.Counter
+	FullScans *obs.Counter
+}
+
+// NewMetrics registers the census series on r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		RoundsFolded:   r.Counter("anycastmap_census_rounds_folded_total", "Census rounds folded into the combined min-RTT matrix."),
+		FoldSeconds:    r.Histogram("anycastmap_census_fold_seconds", "Latency of folding one finished round into the combined matrix.", obs.FastBuckets),
+		AnalyzeSeconds: r.Histogram("anycastmap_census_analyze_seconds", "Latency of one analysis pass (incremental dirty-set or batch).", obs.DefBuckets),
+		DirtyTargets:   r.Gauge("anycastmap_census_dirty_targets", "Dirty-set size of the most recent incremental analysis."),
+		GreylistSize:   r.Gauge("anycastmap_census_greylist_size", "Campaign greylist size after the most recent fold."),
+		Analyses:       r.Counter("anycastmap_census_analyses_total", "Per-target analyses run by the incremental engine."),
+		CertHits:       r.Counter("anycastmap_census_cert_hits_total", "Analyses decided by revalidating a cached detection certificate."),
+		FullScans:      r.Counter("anycastmap_census_full_scans_total", "Analyses that paid the full detection pass."),
+	}
+}
+
+// foldObserved records one completed fold.
+func (m *Metrics) foldObserved(d time.Duration, greylist int) {
+	if m == nil {
+		return
+	}
+	m.RoundsFolded.Inc()
+	m.FoldSeconds.Observe(d.Seconds())
+	m.GreylistSize.Set(float64(greylist))
+}
+
+// analyzeObserved records one incremental analysis pass; before/after
+// are the analyzer's cumulative stats around it.
+func (m *Metrics) analyzeObserved(d time.Duration, dirty int, before, after AnalyzerStats) {
+	if m == nil {
+		return
+	}
+	m.AnalyzeSeconds.Observe(d.Seconds())
+	m.DirtyTargets.Set(float64(dirty))
+	m.Analyses.Add(uint64(after.Analyzed - before.Analyzed))
+	m.CertHits.Add(uint64(after.CertHits - before.CertHits))
+	m.FullScans.Add(uint64(after.FullScans - before.FullScans))
+}
+
+// ObserveAnalysis records the wall time of a batch analysis (an
+// AnalyzeAll outside the incremental engine, as the store's census
+// source runs). Nil-safe.
+func (m *Metrics) ObserveAnalysis(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.AnalyzeSeconds.Observe(d.Seconds())
+}

@@ -471,6 +471,13 @@ func (cp *Campaign) FinishRound(h RunHealth) error {
 	}
 	cp.shardOpen = false
 	cp.health.Add(h)
+	// A shard round folds frame by frame; the round counts as folded
+	// when it closes. Fold latency for this path is the coordinator's
+	// per-frame shard-fold histogram, not FoldSeconds.
+	if m := cp.cfg.Metrics; m != nil {
+		m.RoundsFolded.Inc()
+		m.GreylistSize.Set(float64(cp.grey.Len()))
+	}
 	return nil
 }
 

@@ -179,8 +179,8 @@ func RunAgent(ctx context.Context, conn net.Conn, cfg AgentConfig) error {
 	// concurrently while the main goroutine keeps reading frames.
 	leases := make(chan leaseMsg, 64)
 	var wg sync.WaitGroup
-	defer wg.Wait()      // after close(leases): drain in-flight executors
-	defer close(leases)  // runs first (LIFO)
+	defer wg.Wait()     // after close(leases): drain in-flight executors
+	defer close(leases) // runs first (LIFO)
 	for i := 0; i < cfg.capacity(); i++ {
 		wg.Add(1)
 		go func() {

@@ -56,6 +56,9 @@ type Config struct {
 	MaxFrame int
 	// Log, when non-nil, receives operational events.
 	Log func(format string, args ...any)
+	// Metrics, when non-nil, receives the same events as Stats plus the
+	// shard-fold latency histogram, for /metrics exposition.
+	Metrics *Metrics
 }
 
 func (c Config) leaseTTL() time.Duration {
@@ -120,18 +123,18 @@ type agentConn struct {
 // whole VP. One lease is outstanding per VP at a time, so all its shards
 // of an attempt execute at the same attempt number.
 type vpState struct {
-	vp         platform.VP
-	slot       int
-	attempt    int
-	maxAttempt int
-	remaining  int
+	vp          platform.VP
+	slot        int
+	attempt     int
+	maxAttempt  int
+	remaining   int
 	outstanding *lease
-	notBefore  time.Time
-	leasedOnce bool
-	failed     bool
-	dropped    bool
-	lastErr    string
-	samples    int
+	notBefore   time.Time
+	leasedOnce  bool
+	failed      bool
+	dropped     bool
+	lastErr     string
+	samples     int
 }
 
 // unit is one (vantage point, target span) shard of work.
@@ -458,6 +461,7 @@ func (c *Coordinator) onHello(a *agentConn, hello helloMsg) {
 	a.ready = true
 	a.lastSeen = time.Now()
 	c.bump(func(s *Stats) { s.AgentsJoined++ })
+	c.cfg.Metrics.joined()
 	c.logf("cluster: agent %q joined (capacity %d)", a.name, a.capacity)
 	c.send(a, c.welcome)
 	if c.round != nil {
@@ -474,6 +478,7 @@ func (c *Coordinator) onRows(a *agentConn, leaseID uint64, sr *census.ShardRows)
 	r := c.round
 	if r == nil {
 		c.bump(func(s *Stats) { s.LateFrames++ })
+		c.cfg.Metrics.late()
 		return
 	}
 	l, ok := r.leases[leaseID]
@@ -483,6 +488,7 @@ func (c *Coordinator) onRows(a *agentConn, leaseID uint64, sr *census.ShardRows)
 		// happened or will happen elsewhere, and folding twice would be
 		// harmless but the accounting would double. Drop it.
 		c.bump(func(s *Stats) { s.LateFrames++ })
+		c.cfg.Metrics.late()
 		return
 	}
 	u := l.u
@@ -491,6 +497,7 @@ func (c *Coordinator) onRows(a *agentConn, leaseID uint64, sr *census.ShardRows)
 		c.dropAgent(a, fmt.Sprintf("shard frame disagrees with lease %d", leaseID))
 		return
 	}
+	foldStart := time.Now()
 	if err := c.cfg.Campaign.FoldShard(sr); err != nil {
 		// FoldShard validates before mutating, so the campaign is
 		// intact; the agent is speaking nonsense and goes.
@@ -498,6 +505,7 @@ func (c *Coordinator) onRows(a *agentConn, leaseID uint64, sr *census.ShardRows)
 		return
 	}
 	c.bump(func(s *Stats) { s.FramesFolded++ })
+	c.cfg.Metrics.folded(time.Since(foldStart))
 
 	if len(sr.Stats) == 1 {
 		r.probes += sr.Stats[0].Sent
@@ -534,11 +542,13 @@ func (c *Coordinator) onFail(a *agentConn, fail failMsg) {
 	r := c.round
 	if r == nil {
 		c.bump(func(s *Stats) { s.LateFrames++ })
+		c.cfg.Metrics.late()
 		return
 	}
 	l, ok := r.leases[fail.ID]
 	if !ok || l.agent != a {
 		c.bump(func(s *Stats) { s.LateFrames++ })
+		c.cfg.Metrics.late()
 		return
 	}
 	delete(r.leases, fail.ID)
@@ -572,6 +582,7 @@ func (c *Coordinator) failLease(l *lease, errStr string) {
 	vs.notBefore = time.Now().Add(c.cfg.Census.Backoff(vs.attempt))
 	c.round.queue = append(c.round.queue, l.u)
 	c.bump(func(s *Stats) { s.ReLeases++ })
+	c.cfg.Metrics.reLease()
 }
 
 // dropAgent removes an agent from the cluster and fails its in-flight
@@ -589,6 +600,7 @@ func (c *Coordinator) dropAgent(a *agentConn, reason string) {
 	c.connMu.Unlock()
 	if a.ready {
 		c.bump(func(s *Stats) { s.AgentsLost++ })
+		c.cfg.Metrics.lost()
 		c.logf("cluster: agent %q lost: %s", a.name, reason)
 	}
 	lost := make([]*lease, 0, len(a.inflight))
@@ -624,6 +636,7 @@ func (c *Coordinator) onTick() {
 	for _, a := range hung {
 		if !a.dead {
 			c.bump(func(s *Stats) { s.Expired++ })
+			c.cfg.Metrics.expired()
 			c.dropAgent(a, "lease past deadline")
 		}
 	}
@@ -737,6 +750,7 @@ func (c *Coordinator) issueLease(r *roundState, u *unit, a *agentConn) {
 		vs.maxAttempt = l.attempt
 	}
 	c.bump(func(s *Stats) { s.Leases++ })
+	c.cfg.Metrics.lease()
 	c.send(a, frameBytes(frameLease, payload))
 }
 

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format (v0.0.4), in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range families {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, f *family, s *series) {
+	switch f.kind {
+	case counterKind:
+		v := s.counter.Value()
+		if s.counterFn != nil {
+			v = s.counterFn()
+		}
+		writeSample(bw, f.name, "", s.labels, nil, strconv.FormatUint(v, 10))
+	case gaugeKind:
+		v := s.gauge.Value()
+		if s.gaugeFn != nil {
+			v = s.gaugeFn()
+		}
+		writeSample(bw, f.name, "", s.labels, nil, formatFloat(v))
+	case histogramKind:
+		h := s.hist
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			le := Label{Name: "le", Value: formatFloat(bound)}
+			writeSample(bw, f.name, "_bucket", s.labels, &le, strconv.FormatUint(cum, 10))
+		}
+		total := h.Count()
+		le := Label{Name: "le", Value: "+Inf"}
+		writeSample(bw, f.name, "_bucket", s.labels, &le, strconv.FormatUint(total, 10))
+		writeSample(bw, f.name, "_sum", s.labels, nil, formatFloat(h.Sum()))
+		writeSample(bw, f.name, "_count", s.labels, nil, strconv.FormatUint(total, 10))
+	}
+}
+
+func writeSample(bw *bufio.Writer, name, suffix string, labels []Label, extra *Label, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || extra != nil {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			writeLabel(bw, l)
+		}
+		if extra != nil {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			writeLabel(bw, *extra)
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func writeLabel(bw *bufio.Writer, l Label) {
+	bw.WriteString(l.Name)
+	bw.WriteString(`="`)
+	bw.WriteString(escapeLabelValue(l.Value))
+	bw.WriteByte('"')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }
+
+// Handler serves the registry as a GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteText(w)
+	})
+}

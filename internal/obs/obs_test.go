@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parseExposition reads "name{labels} value" lines into a map keyed by
+// the full series string; comment lines index the TYPE declarations.
+func parseExposition(t *testing.T, text string) (values map[string]float64, types map[string]string) {
+	t.Helper()
+	values = make(map[string]float64)
+	types = make(map[string]string)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("bad sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil && line[i+1:] != "NaN" {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		values[line[:i]] = v
+	}
+	return values, types
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Events seen.")
+	byKind := r.Counter("test_kinds_total", "Events by kind.", L("kind", "a"))
+	r.Counter("test_kinds_total", "", L("kind", "b")).Add(7)
+	g := r.Gauge("test_depth", "Queue depth.")
+	r.GaugeFunc("test_sampled", "Sampled at scrape.", func() float64 { return 2.5 })
+	r.CounterFunc("test_fn_total", "Read-through counter.", func() uint64 { return 42 })
+
+	c.Add(3)
+	c.Inc()
+	byKind.Inc()
+	g.Set(9)
+	g.Add(-2.5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	vals, types := parseExposition(t, sb.String())
+	for series, want := range map[string]float64{
+		"test_events_total":          4,
+		`test_kinds_total{kind="a"}`: 1,
+		`test_kinds_total{kind="b"}`: 7,
+		"test_depth":                 6.5,
+		"test_sampled":               2.5,
+		"test_fn_total":              42,
+	} {
+		if vals[series] != want {
+			t.Errorf("%s = %v, want %v\n%s", series, vals[series], want, sb.String())
+		}
+	}
+	for name, want := range map[string]string{
+		"test_events_total": "counter",
+		"test_depth":        "gauge",
+		"test_sampled":      "gauge",
+	} {
+		if types[name] != want {
+			t.Errorf("TYPE %s = %s, want %s", name, types[name], want)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-102.65) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	vals, types := parseExposition(t, sb.String())
+	if types["test_latency_seconds"] != "histogram" {
+		t.Errorf("TYPE = %s", types["test_latency_seconds"])
+	}
+	// le buckets are cumulative and le is inclusive (0.1 lands in le="0.1").
+	for series, want := range map[string]float64{
+		`test_latency_seconds_bucket{le="0.1"}`:  2,
+		`test_latency_seconds_bucket{le="1"}`:    3,
+		`test_latency_seconds_bucket{le="10"}`:   4,
+		`test_latency_seconds_bucket{le="+Inf"}`: 5,
+		"test_latency_seconds_count":             5,
+	} {
+		if vals[series] != want {
+			t.Errorf("%s = %v, want %v\n%s", series, vals[series], want, sb.String())
+		}
+	}
+}
+
+func TestHistogramObserveSince(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_elapsed_seconds", "", DefBuckets)
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if h.Count() != 1 || h.Sum() <= 0 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestLabelAndHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_esc_total", "line one\nline \\two", L("path", `a"b\c`+"\n")).Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# HELP test_esc_total line one\nline \\two`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `test_esc_total{path="a\"b\\c\n"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("test_dup_total", "")
+	expectPanic("duplicate series", func() { r.Counter("test_dup_total", "") })
+	expectPanic("kind clash", func() { r.Gauge("test_dup_total", "") })
+	expectPanic("bad name", func() { r.Counter("0bad", "") })
+	expectPanic("bad label", func() { r.Counter("test_lbl_total", "", L("0bad", "v")) })
+	expectPanic("unsorted buckets", func() { r.Histogram("test_h_seconds", "", []float64{1, 0.1}) })
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+func TestHandlerServesContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_served_total", "").Add(2)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != ContentType {
+		t.Errorf("content type = %q", got)
+	}
+	if !strings.Contains(rec.Body.String(), "test_served_total 2") {
+		t.Errorf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "")
+	g := r.Gauge("test_conc_depth", "")
+	h := r.Histogram("test_conc_seconds", "", []float64{1, 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%d g=%v h=%d", c.Value(), g.Value(), h.Count())
+	}
+	if math.Abs(h.Sum()-12000) > 1e-6 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	// No observation may allocate: these run on serving hot paths.
+	if allocs := testing.AllocsPerRun(100, func() { c.Inc(); g.Add(1); h.Observe(0.5) }); allocs > 0 {
+		t.Fatalf("instrument ops allocate (%v allocs/op)", allocs)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("buckets = %v", b)
+		}
+	}
+}

@@ -18,9 +18,63 @@ import (
 	"anycastmap/internal/detrand"
 	"anycastmap/internal/lfsr"
 	"anycastmap/internal/netsim"
+	"anycastmap/internal/obs"
 	"anycastmap/internal/platform"
 	"anycastmap/internal/record"
 )
+
+// Metrics aggregates run-level probing counters across every Run in the
+// process. Run observes into it exactly once per returned run — never
+// inside the per-probe loop — so the counters cost nothing on the
+// zero-alloc hot path (TestRunZeroAllocsPerProbe pins that the loop is
+// unchanged with metrics enabled).
+type Metrics struct {
+	Runs          atomic.Uint64
+	ProbesSent    atomic.Uint64
+	EchoReplies   atomic.Uint64
+	ErrorReplies  atomic.Uint64
+	Timeouts      atomic.Uint64
+	SourceDropped atomic.Uint64
+	FaultLost     atomic.Uint64
+}
+
+// DefaultMetrics is the process-wide aggregate every Run observes into;
+// Register exposes it on a scrape registry.
+var DefaultMetrics Metrics
+
+func (m *Metrics) observe(st *Stats) {
+	m.Runs.Add(1)
+	m.ProbesSent.Add(uint64(st.Sent))
+	m.EchoReplies.Add(uint64(st.Echo))
+	m.ErrorReplies.Add(uint64(st.Errors))
+	m.Timeouts.Add(uint64(st.Timeouts))
+	m.SourceDropped.Add(uint64(st.SourceDropped))
+	m.FaultLost.Add(uint64(st.FaultLost))
+}
+
+// Register exposes the probe counters as anycastmap_probe_* series.
+// Probes/s is the scrape-side rate() of anycastmap_probe_probes_sent_total.
+func (m *Metrics) Register(r *obs.Registry) {
+	r.CounterFunc("anycastmap_probe_runs_total", "Completed per-VP probing runs (including aborted ones).", m.Runs.Load)
+	r.CounterFunc("anycastmap_probe_probes_sent_total", "ICMP probes sent across all runs.", m.ProbesSent.Load)
+	r.CounterFunc("anycastmap_probe_echo_replies_total", "Echo replies received.", m.EchoReplies.Load)
+	r.CounterFunc("anycastmap_probe_error_replies_total", "Greylistable ICMP error replies received.", m.ErrorReplies.Load)
+	r.CounterFunc("anycastmap_probe_timeouts_total", "Probes that timed out (includes fault-lost and source-dropped).", m.Timeouts.Load)
+	r.CounterFunc("anycastmap_probe_source_dropped_total", "Replies dropped at the vantage point from excessive probing rates.", m.SourceDropped.Load)
+	r.CounterFunc("anycastmap_probe_fault_lost_total", "Probes lost to injected flap/burst faults.", m.FaultLost.Load)
+}
+
+// RegisterGreylistGauge exposes a greylist's live size as
+// anycastmap_probe_greylist_size{list="..."} — typically the persistent
+// blacklist a daemon probes around. A nil greylist reads zero.
+func RegisterGreylistGauge(r *obs.Registry, g *Greylist, list string) {
+	r.GaugeFunc("anycastmap_probe_greylist_size", "Hosts in the greylist.", func() float64 {
+		if g == nil {
+			return 0
+		}
+		return float64(g.Len())
+	}, obs.L("list", list))
+}
 
 // Greylist is a concurrency-safe set of hosts whose ICMP errors asked us to
 // stop probing them (type 3 codes 9, 10 and 13). Entries accumulate during
@@ -223,6 +277,9 @@ func (s Stats) String() string {
 // flap/burst faults surface as elevated timeouts in the statistics.
 func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, cfg Config, sink func(record.Sample)) (Stats, *Greylist, error) {
 	stats := Stats{VP: vp}
+	// One observation per run, on every return path; the per-probe loop
+	// never touches the metrics.
+	defer DefaultMetrics.observe(&stats)
 	found := NewGreylist()
 	n := uint64(len(targets))
 	if n == 0 {

@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"anycastmap/internal/netsim"
+	"anycastmap/internal/obs"
 )
 
 // APIConfig tunes the HTTP layer.
@@ -19,6 +21,13 @@ type APIConfig struct {
 	MaxInFlight int
 	// MaxBatch bounds the /v1/lookup/batch list size; zero means 1024.
 	MaxBatch int
+	// MaxBodyBytes bounds the /v1/lookup/batch request body; zero means
+	// 1 MiB. Oversize bodies are rejected with 413.
+	MaxBodyBytes int64
+	// Metrics, when set, receives the per-endpoint request series and is
+	// served at GET /metrics in Prometheus text format. The store (and
+	// refresher, when present) series are registered on it too.
+	Metrics *obs.Registry
 }
 
 func (c APIConfig) maxInFlight() int {
@@ -35,12 +44,22 @@ func (c APIConfig) maxBatch() int {
 	return 1024
 }
 
-// endpointMetrics is one endpoint's latency/volume counters.
+func (c APIConfig) maxBodyBytes() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 1 << 20
+}
+
+// endpointMetrics is one endpoint's latency/volume counters. latency is
+// the optional scrape-side histogram; the atomics stay authoritative for
+// /v1/stats (and back the scraped counters via read-through functions).
 type endpointMetrics struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
 	rejected atomic.Uint64
 	totalNs  atomic.Int64
+	latency  *obs.Histogram
 }
 
 // EndpointStats is the JSON shape of one endpoint's counters.
@@ -72,10 +91,14 @@ type API struct {
 	mux       *http.ServeMux
 	sem       chan struct{}
 	maxBatch  int
+	maxBody   int64
+	registry  *obs.Registry
 	metrics   map[string]*endpointMetrics
 }
 
 // NewAPI builds the handler. refresher may be nil for a static index.
+// When cfg.Metrics is set, the store, refresher and per-endpoint series
+// are registered on it and GET /metrics serves the scrape.
 func NewAPI(st *Store, refresher *Refresher, cfg APIConfig) *API {
 	a := &API{
 		store:     st,
@@ -83,13 +106,25 @@ func NewAPI(st *Store, refresher *Refresher, cfg APIConfig) *API {
 		mux:       http.NewServeMux(),
 		sem:       make(chan struct{}, cfg.maxInFlight()),
 		maxBatch:  cfg.maxBatch(),
+		maxBody:   cfg.maxBodyBytes(),
+		registry:  cfg.Metrics,
 		metrics:   map[string]*endpointMetrics{},
+	}
+	if a.registry != nil {
+		RegisterMetrics(a.registry, st, refresher)
 	}
 	a.handle("GET /healthz", "healthz", a.handleHealth)
 	a.handle("GET /v1/lookup", "lookup", a.handleLookup)
 	a.handle("POST /v1/lookup/batch", "batch", a.handleBatch)
 	a.handle("GET /v1/snapshot", "snapshot", a.handleSnapshot)
 	a.handle("GET /v1/stats", "stats", a.handleStats)
+	if a.registry != nil {
+		scrape := a.registry.Handler()
+		a.handle("GET /metrics", "metrics", func(w http.ResponseWriter, r *http.Request) int {
+			scrape.ServeHTTP(w, r)
+			return http.StatusOK
+		})
+	}
 	return a
 }
 
@@ -97,10 +132,19 @@ func NewAPI(st *Store, refresher *Refresher, cfg APIConfig) *API {
 func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
 
 // handle registers a pattern with the concurrency bound and per-endpoint
-// latency accounting wrapped around it.
+// latency accounting wrapped around it. With a registry configured, each
+// endpoint also gets anycastmap_http_* series labelled endpoint=name,
+// reading through to the same atomics /v1/stats samples.
 func (a *API) handle(pattern, name string, h func(http.ResponseWriter, *http.Request) int) {
 	m := &endpointMetrics{}
 	a.metrics[name] = m
+	if a.registry != nil {
+		l := obs.L("endpoint", name)
+		a.registry.CounterFunc("anycastmap_http_requests_total", "HTTP requests served, by endpoint.", m.requests.Load, l)
+		a.registry.CounterFunc("anycastmap_http_request_errors_total", "HTTP requests that returned a 4xx/5xx status, by endpoint.", m.errors.Load, l)
+		a.registry.CounterFunc("anycastmap_http_requests_rejected_total", "HTTP requests shed with 503 at the concurrency bound, by endpoint.", m.rejected.Load, l)
+		m.latency = a.registry.Histogram("anycastmap_http_request_seconds", "HTTP request latency, by endpoint.", obs.FastBuckets, l)
+	}
 	a.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case a.sem <- struct{}{}:
@@ -112,8 +156,10 @@ func (a *API) handle(pattern, name string, h func(http.ResponseWriter, *http.Req
 		}
 		start := time.Now()
 		status := h(w, r)
+		d := time.Since(start)
 		m.requests.Add(1)
-		m.totalNs.Add(time.Since(start).Nanoseconds())
+		m.totalNs.Add(d.Nanoseconds())
+		m.latency.Observe(d.Seconds())
 		if status >= 400 {
 			m.errors.Add(1)
 		}
@@ -185,8 +231,15 @@ func (a *API) handleLookup(w http.ResponseWriter, r *http.Request) int {
 // handleBatch classifies a JSON list of IPs: POST /v1/lookup/batch with
 // body ["8.8.8.8", "1.1.1.1"] (or {"ips": [...]}).
 func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) int {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, a.maxBody))
 	if err != nil {
+		// An oversize body is the client exceeding a documented limit,
+		// not a malformed request: 413, matching the oversize-batch path.
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return writeJSONStatus(w, http.StatusRequestEntityTooLarge,
+				errBody(fmt.Sprintf("body exceeds limit of %d bytes", tooLarge.Limit)))
+		}
 		return writeJSONStatus(w, http.StatusBadRequest, errBody(fmt.Sprintf("bad batch body: %v", err)))
 	}
 	var raw []string

@@ -3,12 +3,15 @@ package store
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"anycastmap/internal/obs"
 )
 
 func testAPI(t *testing.T) (*API, *Store) {
@@ -216,6 +219,95 @@ func TestAPIBoundedConcurrency(t *testing.T) {
 	eps := body["endpoints"].(map[string]any)
 	if eps["lookup"].(map[string]any)["rejected"].(float64) != 1 {
 		t.Errorf("rejection not counted: %v", eps["lookup"])
+	}
+}
+
+func TestAPIBatchBodyLimit(t *testing.T) {
+	st := New(Options{})
+	st.Publish(testSnapshot(t, 2))
+	a := NewAPI(st, nil, APIConfig{MaxBodyBytes: 64})
+
+	// Under the cap: served normally.
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/lookup/batch", strings.NewReader(`["10.10.0.1"]`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("small batch got %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Over the cap: 413, not the 400 the error used to collapse into.
+	over := `["10.10.0.1"` + strings.Repeat(`,"10.10.0.1"`, 16) + `]`
+	rec, body := doJSON(t, a, http.MethodPost, "/v1/lookup/batch", over)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body got %d, want 413", rec.Code)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "64 bytes") {
+		t.Errorf("413 body does not name the limit: %v", body)
+	}
+}
+
+// failingWriter accepts the response header but fails every body write,
+// like a client that disconnected between the header and the payload.
+type failingWriter struct {
+	header http.Header
+	status int
+}
+
+func (w *failingWriter) Header() http.Header { return w.header }
+
+func (w *failingWriter) WriteHeader(status int) { w.status = status }
+
+func (w *failingWriter) Write([]byte) (int, error) {
+	return 0, errors.New("client went away")
+}
+
+func TestAPIEncodeFailureCountsAsError(t *testing.T) {
+	a, _ := testAPI(t)
+	fw := &failingWriter{header: http.Header{}}
+	a.ServeHTTP(fw, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	// The header went out before the body write failed; the recorded
+	// status can't be rewritten, but the endpoint counters must show the
+	// request errored.
+	if fw.status != http.StatusOK {
+		t.Fatalf("header status = %d", fw.status)
+	}
+	em := a.metrics["stats"]
+	if em.requests.Load() != 1 || em.errors.Load() != 1 {
+		t.Fatalf("stats endpoint counters = %d requests, %d errors; want 1 and 1",
+			em.requests.Load(), em.errors.Load())
+	}
+	_, body := doJSON(t, a, http.MethodGet, "/v1/stats", "")
+	eps := body["endpoints"].(map[string]any)
+	if eps["stats"].(map[string]any)["errors"].(float64) != 1 {
+		t.Errorf("encode failure invisible in /v1/stats: %v", eps["stats"])
+	}
+}
+
+func TestAPIRejectedVisibleInStatsAndMetrics(t *testing.T) {
+	st := New(Options{})
+	st.Publish(testSnapshot(t, 2))
+	reg := obs.NewRegistry()
+	a := NewAPI(st, nil, APIConfig{MaxInFlight: 1, Metrics: reg})
+
+	a.sem <- struct{}{} // fill the only slot
+	rec, _ := doJSON(t, a, http.MethodGet, "/v1/lookup?ip=10.10.0.1", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overload request got %d", rec.Code)
+	}
+	<-a.sem
+
+	_, body := doJSON(t, a, http.MethodGet, "/v1/stats", "")
+	eps := body["endpoints"].(map[string]any)
+	if eps["lookup"].(map[string]any)["rejected"].(float64) != 1 {
+		t.Errorf("rejection not in /v1/stats: %v", eps["lookup"])
+	}
+	m := scrapeMetrics(t, a)
+	if m[`anycastmap_http_requests_rejected_total{endpoint="lookup"}`] != 1 {
+		t.Errorf("rejection not in /metrics: %v", m[`anycastmap_http_requests_rejected_total{endpoint="lookup"}`])
+	}
+	// The shed request never entered the handler: served and latency
+	// counts stay at zero for it.
+	if m[`anycastmap_http_requests_total{endpoint="lookup"}`] != 0 {
+		t.Errorf("rejected request counted as served: %v", m[`anycastmap_http_requests_total{endpoint="lookup"}`])
 	}
 }
 

@@ -1,0 +1,60 @@
+package store
+
+import (
+	"math"
+	"time"
+
+	"anycastmap/internal/obs"
+)
+
+// RegisterMetrics exposes the store's serving counters, the snapshot
+// gauges, and (when rf is non-nil) the refresher counters on r. The
+// series read through to the same atomics Stats samples, so scraped
+// values always match /v1/stats. NewAPI calls this when APIConfig
+// carries a registry; call it directly only for daemons serving a store
+// without the HTTP API.
+func RegisterMetrics(r *obs.Registry, st *Store, rf *Refresher) {
+	r.CounterFunc("anycastmap_store_lookups_total", "Single-IP and batch lookups served.", st.lookups.Load)
+	r.CounterFunc("anycastmap_store_cache_hits_total", "Lookups answered from the LRU.", st.hits.Load)
+	r.CounterFunc("anycastmap_store_cache_misses_total", "Lookups that walked the snapshot index.", st.misses.Load)
+	r.CounterFunc("anycastmap_store_snapshot_swaps_total", "Snapshots published (atomic hot-swaps).", st.swaps.Load)
+	r.GaugeFunc("anycastmap_store_cached_answers", "Answers currently held by the LRU.", func() float64 {
+		return float64(st.cache.len())
+	})
+	r.GaugeFunc("anycastmap_store_snapshot_version", "Version of the live snapshot (0 before the first publish).", func() float64 {
+		return float64(st.version.Load())
+	})
+	r.GaugeFunc("anycastmap_store_snapshot_age_seconds", "Age of the live snapshot's build (NaN before the first publish).", func() float64 {
+		snap := st.Current()
+		if snap == nil {
+			return math.NaN()
+		}
+		return time.Since(snap.BuiltAt()).Seconds()
+	})
+	r.GaugeFunc("anycastmap_store_snapshot_prefixes", "Anycast /24s indexed by the live snapshot.", func() float64 {
+		snap := st.Current()
+		if snap == nil {
+			return 0
+		}
+		return float64(snap.Len())
+	})
+	r.GaugeFunc("anycastmap_store_snapshot_quarantined_vps", "Vantage points quarantined by the live snapshot's campaign.", func() float64 {
+		snap := st.Current()
+		if snap == nil {
+			return 0
+		}
+		return float64(len(snap.Health().Quarantined))
+	})
+	if rf == nil {
+		return
+	}
+	r.CounterFunc("anycastmap_refresh_completed_total", "Refreshes that published a snapshot.", rf.completed.Load)
+	r.CounterFunc("anycastmap_refresh_failed_total", "Refreshes that produced no snapshot.", rf.failed.Load)
+	r.CounterFunc("anycastmap_refresh_panics_total", "Refreshes whose build panicked (recovered).", rf.panics.Load)
+	r.CounterFunc("anycastmap_refresh_degraded_publishes_total", "Published snapshots whose campaign health quarantined a vantage point.", rf.degraded.Load)
+	r.CounterFunc("anycastmap_refresh_degraded_builds_total", "Published snapshots whose build returned an error alongside the snapshot.", rf.degradedBuilds.Load)
+	r.GaugeFunc("anycastmap_refresh_last_duration_seconds", "Wall time of the most recent refresh.", func() float64 {
+		return time.Duration(rf.lastNanos.Load()).Seconds()
+	})
+	r.GaugeFunc("anycastmap_refresh_interval_seconds", "Configured refresh interval.", rf.interval.Seconds)
+}

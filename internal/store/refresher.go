@@ -45,11 +45,21 @@ type Refresher struct {
 	// Log, when set, receives one line per refresh outcome.
 	Log func(format string, args ...any)
 
-	completed atomic.Uint64
-	degraded  atomic.Uint64
-	failed    atomic.Uint64
-	panics    atomic.Uint64
-	lastNanos atomic.Int64
+	// InitialBackoff is the first retry delay when the startup refresh
+	// fails; zero means 100ms. Until the first snapshot publishes, Run
+	// retries on this capped-exponential schedule instead of sitting dark
+	// for a full interval.
+	InitialBackoff time.Duration
+	// MaxInitialBackoff caps the startup retry delay; zero means 15s
+	// (never more than the refresh interval).
+	MaxInitialBackoff time.Duration
+
+	completed      atomic.Uint64
+	degraded       atomic.Uint64
+	degradedBuilds atomic.Uint64
+	failed         atomic.Uint64
+	panics         atomic.Uint64
+	lastNanos      atomic.Int64
 }
 
 // NewRefresher wires a refresher; interval <= 0 defaults to 15 minutes.
@@ -61,11 +71,40 @@ func NewRefresher(st *Store, src Source, interval time.Duration) *Refresher {
 }
 
 // Run refreshes until ctx is cancelled. If the store has no snapshot yet,
-// the first refresh starts immediately; afterwards one refresh runs per
+// the first refresh starts immediately — and, should it fail, retries on
+// a capped exponential backoff (InitialBackoff doubling up to
+// MaxInitialBackoff) until a snapshot publishes. Without the retry a
+// transient source error at boot left the daemon answering 503 for an
+// entire interval. Once a snapshot is live, one refresh runs per
 // interval. Run blocks; start it in a goroutine.
 func (r *Refresher) Run(ctx context.Context) {
-	if !r.store.Ready() {
-		r.RefreshOnce(ctx)
+	backoff := r.InitialBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	maxBackoff := r.MaxInitialBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 15 * time.Second
+	}
+	if maxBackoff > r.interval {
+		maxBackoff = r.interval
+	}
+	for !r.store.Ready() {
+		if r.RefreshOnce(ctx) {
+			break
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		r.logf("store: no snapshot yet, retrying initial refresh in %v", backoff)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
 	t := time.NewTicker(r.interval)
 	defer t.Stop()
@@ -101,7 +140,13 @@ func (r *Refresher) RefreshOnce(ctx context.Context) (published bool) {
 		}
 		return false
 	}
+	// Two distinct degradation signals, counted separately: the build
+	// returning an error alongside a usable snapshot (degradedBuilds), and
+	// the campaign itself quarantining a vantage point (degraded). The log
+	// line used to fire for the former while only the latter was counted,
+	// so /v1/stats drifted from the logs.
 	if err != nil {
+		r.degradedBuilds.Add(1)
 		r.logf("store: refresh degraded (publishing partial snapshot): %v", err)
 	}
 	if snap.Degraded() {
@@ -126,11 +171,14 @@ type RefresherStats struct {
 	Completed uint64 `json:"completed"`
 	// DegradedPublishes counts published snapshots whose campaign
 	// quarantined at least one vantage point.
-	DegradedPublishes uint64        `json:"degraded_publishes"`
-	Failed            uint64        `json:"failed"`
-	Panics            uint64        `json:"panics"`
-	LastRefresh       time.Duration `json:"last_refresh_ns"`
-	Interval          time.Duration `json:"interval_ns"`
+	DegradedPublishes uint64 `json:"degraded_publishes"`
+	// DegradedBuilds counts published snapshots whose build also returned
+	// an error (some vantage points failed outright).
+	DegradedBuilds uint64        `json:"degraded_builds"`
+	Failed         uint64        `json:"failed"`
+	Panics         uint64        `json:"panics"`
+	LastRefresh    time.Duration `json:"last_refresh_ns"`
+	Interval       time.Duration `json:"interval_ns"`
 }
 
 // Stats samples the counters.
@@ -138,6 +186,7 @@ func (r *Refresher) Stats() RefresherStats {
 	return RefresherStats{
 		Completed:         r.completed.Load(),
 		DegradedPublishes: r.degraded.Load(),
+		DegradedBuilds:    r.degradedBuilds.Load(),
 		Failed:            r.failed.Load(),
 		Panics:            r.panics.Load(),
 		LastRefresh:       time.Duration(r.lastNanos.Load()),
@@ -175,6 +224,14 @@ type CensusSource struct {
 	// target shards to a net.Pipe fleet) instead of the in-process
 	// executor. The published snapshot is byte-identical either way.
 	Agents int
+	// Metrics, when set, instruments every campaign this source builds
+	// (rounds folded, fold/analyze latency, cert reuse). The instruments
+	// outlive individual campaigns, so counters accumulate across
+	// refreshes.
+	Metrics *census.Metrics
+	// ClusterMetrics instruments the per-refresh coordinator when Agents
+	// is positive.
+	ClusterMetrics *cluster.Metrics
 
 	round atomic.Uint64
 }
@@ -207,7 +264,7 @@ func (cs *CensusSource) SetRound(n uint64) { cs.round.Store(n) }
 func (cs *CensusSource) Build(ctx context.Context) (*Snapshot, error) {
 	cfg := cs.Census
 	cfg.Seed = cs.Seed
-	cp := census.NewCampaign(census.CampaignConfig{Census: cfg})
+	cp := census.NewCampaign(census.CampaignConfig{Census: cfg, Metrics: cs.Metrics})
 	execute := func(ctx context.Context, round uint64, vps []platform.VP) error {
 		_, err := cp.ExecuteRound(ctx, cs.World, vps, cs.Hitlist, cs.Blacklist, round)
 		return err
@@ -219,6 +276,7 @@ func (cs *CensusSource) Build(ctx context.Context) (*Snapshot, error) {
 			Blacklist: cs.Blacklist,
 			Census:    cfg,
 			World:     cs.World.Config(),
+			Metrics:   cs.ClusterMetrics,
 		})
 		if err != nil {
 			return nil, err
@@ -256,7 +314,9 @@ func (cs *CensusSource) Build(ctx context.Context) (*Snapshot, error) {
 	if combined == nil {
 		return nil, fmt.Errorf("store: no census rounds ran")
 	}
+	analyzeStart := time.Now()
 	outcomes := census.AnalyzeAll(cs.Cities, combined, core.Options{}, cs.MinSamples, 0)
+	cs.Metrics.ObserveAnalysis(time.Since(analyzeStart))
 	findings := analysis.Attribute(outcomes, cs.Table)
 	snap := NewSnapshot(findings, cs.Registry, last, cs.rounds())
 	snap.SetHealth(cp.Health())
