@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify clean bench bench-smoke bench-json stream-smoke analyze-smoke cluster-smoke metrics-smoke profile
+.PHONY: all build vet test race verify clean bench bench-smoke bench-json stream-smoke scale-smoke analyze-smoke cluster-smoke metrics-smoke profile
 
 all: verify
 
@@ -32,9 +32,11 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/netsim ./internal/prober ./internal/census ./internal/store .
 
-# bench-json regenerates the committed benchmark trajectory point.
+# bench-json regenerates the committed benchmark trajectory point,
+# including the million-target paper-scale pipelined campaign (1.7M
+# unicast /24s prune to ~1.05M targets; expect several minutes).
 bench-json:
-	$(GO) run ./cmd/benchreport -exp none -benchjson BENCH_6.json
+	$(GO) run ./cmd/benchreport -exp none -benchjson BENCH_7.json -paper-unicast24s 1700000
 
 # stream-smoke proves the streaming data path's memory bound: a 150k-/24
 # campaign (above netsim.DefaultUniBaseCacheCap, so the per-VP unicast
@@ -44,6 +46,16 @@ bench-json:
 # or dies here instead of shipping.
 stream-smoke:
 	GOMEMLIMIT=360MiB $(GO) run ./cmd/census -unicast24s 150000
+
+# scale-smoke proves the shard-pipelined path's memory bound at the
+# largest scale CI can afford: a 500k-/24 two-round campaign (~310k
+# pruned targets) where probe spans fold into the flat-slab combined
+# matrix as they land, run under a GOMEMLIMIT below the ~620 MiB that
+# two dense rounds would cost, with -max-heap-mib failing the run if
+# the sampled peak ever reaches that dense footprint.
+scale-smoke:
+	GOMEMLIMIT=576MiB $(GO) run ./cmd/census -unicast24s 500000 -censuses 2 \
+		-pipelined -max-heap-mib 620
 
 # analyze-smoke proves the incremental analysis engine's bit-identity
 # contract on a live campaign: each round's dirty targets are analyzed

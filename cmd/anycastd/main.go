@@ -43,6 +43,9 @@ func main() {
 	rounds := flag.Int("censuses", 2, "census rounds combined per snapshot")
 	vpsPer := flag.Int("vps", 261, "vantage points per census round")
 	agents := flag.Int("agents", 0, "run census rounds across this many in-process cluster agents (0 = in-process executor)")
+	pipelined := flag.Bool("pipelined", false, "shard-pipelined census rounds: fold probe spans as they land (bounded peak heap)")
+	spanTargets := flag.Int("span-targets", 0, "pipelined probe-span width in targets (0 = 65536)")
+	snapFile := flag.String("snapshot-file", "", "persist snapshots here and serve them mmap-backed; an existing file boots the daemon ready before the first census")
 	seed := flag.Uint64("seed", 2015, "world seed")
 	rate := flag.Float64("rate", 1000, "probing rate per VP (probes/s)")
 	workers := flag.Int("workers", 0, "vantage points probing concurrently (0 = GOMAXPROCS)")
@@ -121,6 +124,8 @@ func main() {
 		VPsPerRound: *vpsPer,
 		Seed:        *seed,
 		Agents:      *agents,
+		Pipelined:   *pipelined,
+		SpanTargets: *spanTargets,
 		Metrics:     census.NewMetrics(reg),
 		Census: census.Config{
 			Seed: *seed, Rate: *rate, Workers: *workers,
@@ -139,16 +144,35 @@ func main() {
 	st := store.New(store.Options{CacheSize: *cacheSize})
 	r := store.NewRefresher(st, src, *refresh)
 	r.Log = log.Printf
+	r.SnapshotPath = *snapFile
+
+	// Warm boot: an existing snapshot file serves immediately (mmap, no
+	// census wait); a corrupt or missing file just falls through to the
+	// normal cold start. The round counter advances past the file's round
+	// so refreshed campaigns stay monotone.
+	if *snapFile != "" {
+		if snap, err := store.OpenSnapshotFile(*snapFile); err == nil {
+			src.SetRound(snap.Round())
+			st.Publish(snap)
+			log.Printf("warm boot: serving %d anycast /24s from %s (census round %d)",
+				snap.Len(), *snapFile, snap.Round())
+		} else {
+			log.Printf("no usable snapshot file (%v); cold start", err)
+		}
+	}
 
 	// First snapshot synchronously, so the daemon usually comes up ready.
 	// A failed initial build is no longer fatal: Run retries it on a
 	// short backoff in the background while /healthz answers "starting",
-	// so a transient source error can't keep the daemon down.
-	start := time.Now()
-	log.Printf("building initial snapshot (%d census rounds)...", *rounds)
-	if !r.RefreshOnce(ctx) {
-		log.Printf("initial census failed after %v; serving unready, retrying in background",
-			time.Since(start).Round(time.Millisecond))
+	// so a transient source error can't keep the daemon down. A warm boot
+	// skips the synchronous build; the refresher's ticker takes over.
+	if !st.Ready() {
+		start := time.Now()
+		log.Printf("building initial snapshot (%d census rounds)...", *rounds)
+		if !r.RefreshOnce(ctx) {
+			log.Printf("initial census failed after %v; serving unready, retrying in background",
+				time.Since(start).Round(time.Millisecond))
+		}
 	}
 	go r.Run(ctx)
 

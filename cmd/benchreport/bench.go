@@ -86,6 +86,39 @@ type streamBench struct {
 	Anycast24s       int    `json:"anycast_24s"`
 }
 
+// paperScaleBench is the paper-scale headline: one pipelined campaign over
+// a million-plus /24 target list — the regime of the paper's 6.6M-target
+// censuses — censused and analyzed on one box under GOMEMLIMIT, its
+// product persisted to a snapshot file and re-served via mmap. Peak heap
+// must stay under the dense all-rounds footprint and, per target, well
+// below the smaller stream_campaign point: the flat-slab combined matrix
+// plus in-flight probe spans is all the campaign ever holds.
+type paperScaleBench struct {
+	Unicast24s  int   `json:"unicast24s"`
+	Censuses    int   `json:"censuses"`
+	VPsPerRound []int `json:"vps_per_round"`
+	Targets     int   `json:"targets"`
+	// SpanTargets is the pipelined probe/fold unit width.
+	SpanTargets int     `json:"span_targets"`
+	WallclockS  float64 `json:"wallclock_s"`
+	// ProbingWallS covers just the pipelined rounds; Probes and ProbesPerS
+	// are the campaign totals over that window.
+	ProbingWallS        float64 `json:"probing_wall_s"`
+	Probes              uint64  `json:"probes"`
+	ProbesPerS          float64 `json:"probes_per_s"`
+	PeakHeapBytes       uint64  `json:"peak_heap_bytes"`
+	PeakHeapPerTarget   float64 `json:"peak_heap_bytes_per_target"`
+	GCCycles            uint32  `json:"gc_cycles"`
+	DenseAllRoundsBytes uint64  `json:"dense_all_rounds_bytes"`
+	MemoryLimitBytes    uint64  `json:"gomemlimit_bytes"`
+	PeakHeapBounded     bool    `json:"peak_heap_bounded"`
+	Anycast24s          int     `json:"anycast_24s"`
+	// SnapshotFileBytes is the size of the persisted snapshot file;
+	// MappedLookupsPerS is the serving throughput over its mmap reopen.
+	SnapshotFileBytes int64   `json:"snapshot_file_bytes"`
+	MappedLookupsPerS float64 `json:"mapped_lookups_per_s"`
+}
+
 // codecBench compares the v2 columnar run format against the legacy
 // gob+flate encoding on a real census round.
 type codecBench struct {
@@ -183,9 +216,15 @@ type benchReport struct {
 	// campaign down.
 	SpeedupFullCampaign float64 `json:"speedup_full_campaign"`
 
+	// Notes carries measurement caveats that numbers alone would hide.
+	Notes []string `json:"notes,omitempty"`
+
 	// Stream is the bounded-memory campaign at streaming scale (absent
 	// when disabled with -stream-unicast24s=0).
 	Stream *streamBench `json:"stream_campaign,omitempty"`
+	// PaperScale is the million-target pipelined campaign (absent when
+	// disabled with -paper-unicast24s=0).
+	PaperScale *paperScaleBench `json:"paper_scale_campaign,omitempty"`
 	// Codec compares v2 columnar run persistence against legacy gob+flate.
 	Codec *codecBench `json:"run_codec,omitempty"`
 	// AnalyzeAll compares static-chunk vs work-stealing analysis
@@ -227,7 +266,7 @@ func benchName(path string) string {
 // it next to the baseline. lab, labElapsed and labHeap come from the
 // experiment run the caller already paid for; streamUnicast sizes the
 // bounded-memory streaming headline (0 skips it).
-func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration, labPeakHeap uint64, labGC uint32, streamUnicast int) error {
+func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration, labPeakHeap uint64, labGC uint32, streamUnicast, paperUnicast int) error {
 	rep := benchReport{
 		Bench:      benchName(path),
 		Go:         runtime.Version(),
@@ -311,6 +350,25 @@ func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration,
 			rep.Stream.WallclockS, float64(rep.Stream.PeakHeapBytes)/(1<<20),
 			float64(rep.Stream.DenseAllRoundsBytes)/(1<<20), rep.Stream.PeakHeapBounded)
 	}
+
+	if paperUnicast > 0 {
+		fmt.Printf("bench: paper-scale pipelined campaign at %d unicast /24s ... ", paperUnicast)
+		rep.PaperScale = measurePaperScaleCampaign(paperUnicast, lab.Config.Seed)
+		if rep.PaperScale != nil {
+			fmt.Printf("%d targets in %.0fs, %.2fM probes/s, peak heap %.0f MiB (%.0f B/target, bounded=%v), mmap serve %.1fM lookups/s\n",
+				rep.PaperScale.Targets, rep.PaperScale.WallclockS, rep.PaperScale.ProbesPerS/1e6,
+				float64(rep.PaperScale.PeakHeapBytes)/(1<<20), rep.PaperScale.PeakHeapPerTarget,
+				rep.PaperScale.PeakHeapBounded, rep.PaperScale.MappedLookupsPerS/1e6)
+		} else {
+			fmt.Printf("failed\n")
+		}
+	}
+
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("speedup_full_campaign compares against a baseline captured on a different machine: "+
+			"the BENCH_3 baseline ran on a multi-core box, this report's numbers on a %d-CPU one, so the "+
+			"parallel campaign loses its fan-out there; compare full_campaign_ns_op across reports only "+
+			"when their cpus fields match", runtime.NumCPU()))
 
 	rep.Current.Note = "measured live by cmd/benchreport -benchjson"
 
@@ -527,6 +585,126 @@ func measureStreamCampaign(unicast int, seed uint64) *streamBench {
 		PeakHeapBounded:     peak < dense,
 		Anycast24s:          len(findings),
 	}
+}
+
+// measurePaperScaleCampaign runs the million-target headline: the Fig. 1
+// workflow with shard-pipelined rounds (probe spans fold into the flat-slab
+// combined matrix as they land — no whole-round matrix ever materializes),
+// under a GOMEMLIMIT of 90% of the dense all-rounds footprint, followed by
+// snapshot persistence and an mmap-served lookup measurement.
+func measurePaperScaleCampaign(unicast int, seed uint64) *paperScaleBench {
+	const censuses = 2
+	const vpsPer = 261
+
+	runtime.GC()
+	sampler := startHeapSampler()
+	start := time.Now()
+
+	wcfg := netsim.DefaultConfig()
+	wcfg.Seed = seed
+	wcfg.Unicast24s = unicast
+	world := netsim.New(wcfg)
+	db := cities.Default()
+	pl := platform.PlanetLab(db)
+	table := bgp.FromWorld(world)
+	full := hitlist.FromWorld(world)
+	black, err := prober.BuildBlacklist(world, pl.VPs()[0], full.Targets(), prober.Config{Seed: seed})
+	if err != nil {
+		sampler.Stop()
+		return nil
+	}
+	targets := full.PruneNeverAlive().Without(black.Targets())
+
+	var vpsPerRound []int
+	var dense uint64
+	for round := uint64(1); round <= censuses; round++ {
+		n := len(pl.Sample(vpsPer, seed+round))
+		vpsPerRound = append(vpsPerRound, n)
+		dense += uint64(n) * uint64(targets.Len()) * 4
+	}
+	limit := int64(dense - dense/10)
+	if limit < 1<<30 {
+		limit = 1 << 30
+	}
+	prevLimit := debug.SetMemoryLimit(limit)
+	defer debug.SetMemoryLimit(prevLimit)
+
+	pc := census.PipelineConfig{}
+	cp := census.NewCampaign(census.CampaignConfig{Census: census.Config{Seed: seed}})
+	var probes uint64
+	probeStart := time.Now()
+	for round := uint64(1); round <= censuses; round++ {
+		vps := pl.Sample(vpsPer, seed+round)
+		sum, err := cp.ExecuteRoundPipelined(context.Background(), world, vps, targets, black, round, pc)
+		if err != nil {
+			sampler.Stop()
+			return nil
+		}
+		probes += uint64(sum.Probes)
+	}
+	probingWall := time.Since(probeStart)
+
+	outcomes := census.AnalyzeAll(db, cp.Combined(), core.Options{}, 2, 0)
+	findings := analysis.Attribute(outcomes, table)
+
+	elapsed := time.Since(start)
+	peak, gcs := sampler.Stop()
+
+	out := &paperScaleBench{
+		Unicast24s:          unicast,
+		Censuses:            censuses,
+		VPsPerRound:         vpsPerRound,
+		Targets:             targets.Len(),
+		SpanTargets:         pc.EffectiveSpanTargets(),
+		WallclockS:          elapsed.Seconds(),
+		ProbingWallS:        probingWall.Seconds(),
+		Probes:              probes,
+		ProbesPerS:          float64(probes) / probingWall.Seconds(),
+		PeakHeapBytes:       peak,
+		PeakHeapPerTarget:   float64(peak) / float64(targets.Len()),
+		GCCycles:            gcs,
+		DenseAllRoundsBytes: dense,
+		MemoryLimitBytes:    uint64(limit),
+		PeakHeapBounded:     peak < dense,
+		Anycast24s:          len(findings),
+	}
+
+	// The campaign's product as anycastd would serve it: persisted, then
+	// reopened mmap-backed and hammered with the alternating address mix.
+	dir, err := os.MkdirTemp("", "acm-bench-snap")
+	if err != nil {
+		return out
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "census.snap")
+	snap := store.NewSnapshot(findings, world.Registry, censuses, censuses)
+	if err := store.SaveSnapshotFile(snapPath, snap); err != nil {
+		return out
+	}
+	if fi, err := os.Stat(snapPath); err == nil {
+		out.SnapshotFileBytes = fi.Size()
+	}
+	mapped, err := store.OpenSnapshotFile(snapPath)
+	if err != nil {
+		return out
+	}
+	defer mapped.Close()
+	var ips []netsim.IP
+	for i, f := range findings {
+		ips = append(ips, f.Prefix.Host(byte(i)))
+		ips = append(ips, (f.Prefix + 1).Host(byte(i)))
+	}
+	if len(ips) > 0 {
+		const n = 2_000_000
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			mapped.Lookup(ips[i%len(ips)])
+		}
+		if e := time.Since(t0); e > 0 {
+			out.MappedLookupsPerS = n / e.Seconds()
+		}
+	}
+	return out
 }
 
 // analyzeAllStatic is the pre-change AnalyzeAll: workers own contiguous

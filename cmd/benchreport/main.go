@@ -34,6 +34,7 @@ func main() {
 	expList := flag.String("exp", "all", "comma-separated experiments: table1,fig4..fig16,coverage,opendns,ablate-vps,ablate-rate,ablate-iter,ablate-mis,fusion,longitudinal,longitudinal-campaign,baselines,ripe (or: none)")
 	benchJSON := flag.String("benchjson", "", "measure the benchmark trajectory and write it to this JSON file")
 	streamUnicast := flag.Int("stream-unicast24s", 250_000, "unicast /24 scale of the -benchjson streaming-campaign headline (0 skips it)")
+	paperUnicast := flag.Int("paper-unicast24s", 0, "unicast /24 scale of the -benchjson paper-scale pipelined campaign (0 skips it; 1,700,000 prunes to ~1M targets)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -83,7 +84,7 @@ func main() {
 		labElapsed.Round(time.Millisecond), lab.Hitlist.Len(), len(lab.Findings), len(lab.World.Deployments()))
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, lab, labElapsed, labPeakHeap, labGC, *streamUnicast); err != nil {
+		if err := writeBenchJSON(*benchJSON, lab, labElapsed, labPeakHeap, labGC, *streamUnicast, *paperUnicast); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}

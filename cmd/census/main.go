@@ -17,6 +17,7 @@ import (
 	"reflect"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 	"time"
 
 	"anycastmap/internal/analysis"
@@ -45,6 +46,9 @@ func main() {
 	format := flag.String("format", "binary", "record format for -out: binary or csv")
 	top := flag.Int("top", 15, "print the top-N anycast ASes")
 	stream := flag.Bool("stream", true, "fold each census into the combined matrix as it completes (peak memory stays O(one run + combined)); -stream=false retains every round and batch-combines at the end")
+	pipelined := flag.Bool("pipelined", false, "shard-pipelined rounds: probe spans fold into the combined matrix as they land, so peak memory holds in-flight spans instead of a whole round of rows")
+	spanTargets := flag.Int("span-targets", 0, "pipelined probe-span width in targets (0 = 65536)")
+	maxHeapMiB := flag.Int("max-heap-mib", 0, "sample HeapAlloc through the run and fail if the peak exceeds this many MiB (0 = no assertion)")
 	shardTargets := flag.Int("shard-targets", 0, "fold work-unit width in targets (0 = auto)")
 	foldWorkers := flag.Int("fold-workers", 0, "goroutines folding a finished round (0 = GOMAXPROCS)")
 	incremental := flag.Bool("incremental", true, "analyze each round's dirty targets while the next round probes (needs -stream); -incremental=false analyzes once at the end")
@@ -89,6 +93,30 @@ func main() {
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
+
+	// The watermark sampler pins the campaign's true peak heap (HeapAlloc
+	// between GCs), which the post-campaign ReadMemStats log line misses.
+	var peakHeap atomic.Uint64
+	if *maxHeapMiB > 0 {
+		stopSampling := make(chan struct{})
+		defer close(stopSampling)
+		go func() {
+			t := time.NewTicker(10 * time.Millisecond)
+			defer t.Stop()
+			var ms runtime.MemStats
+			for {
+				select {
+				case <-stopSampling:
+					return
+				case <-t.C:
+					runtime.ReadMemStats(&ms)
+					if ms.HeapAlloc > peakHeap.Load() {
+						peakHeap.Store(ms.HeapAlloc)
+					}
+				}
 			}
 		}()
 	}
@@ -243,6 +271,31 @@ func main() {
 		if err := fleet.Close(); err != nil {
 			log.Printf("agent fleet close: %v", err)
 		}
+	case *pipelined:
+		// Pipelined mode: each round's targets split into probe spans that
+		// fold into the combined matrix as workers finish them, so shard
+		// N+1 probes while shard N folds. The fold always streams (span
+		// rows never assemble into a Run), so -save and -stream=false have
+		// nothing to persist.
+		if *save != "" {
+			log.Printf("-save keeps whole runs; the pipelined fold streams spans, skipping")
+		}
+		if !*stream {
+			log.Printf("-stream=false needs retained runs; the pipelined fold always streams")
+		}
+		if useIncremental {
+			cp.AttachAnalyzer(census.NewAnalyzer(db, census.AnalyzerConfig{Workers: *analyzeWorkers}))
+		}
+		pc := census.PipelineConfig{SpanTargets: *spanTargets}
+		log.Printf("pipelined census: span width %d targets", pc.EffectiveSpanTargets())
+		for round := 1; round <= *rounds; round++ {
+			vps := pl.Sample(*vpsPer, *seed+uint64(round))
+			sum, err := cp.ExecuteRoundPipelined(context.Background(), world, vps, targets, black, uint64(round), pc)
+			onRound(sum, err)
+			if useIncremental {
+				cp.AnalyzeDirty()
+			}
+		}
 	case useIncremental:
 		// Each round's dirty targets are analyzed while the next round
 		// probes; per-round errors are surfaced by onRound as they happen.
@@ -274,7 +327,7 @@ func main() {
 	}
 
 	combined := cp.Combined()
-	if !*stream && *agents == 0 {
+	if !*stream && *agents == 0 && !*pipelined {
 		// Batch mode keeps every round and re-derives the combination the
 		// pre-streaming way; the result is byte-identical to the fold.
 		var err error
@@ -324,6 +377,15 @@ func main() {
 			break
 		}
 		fmt.Printf("%-24s %9.1f %7d\n", st.AS.Name, st.MeanReplicas, st.IP24s)
+	}
+	if *maxHeapMiB > 0 {
+		peak := peakHeap.Load()
+		limit := uint64(*maxHeapMiB) << 20
+		log.Printf("peak heap: %.1f MiB sampled (limit %d MiB, bounded=%v)",
+			float64(peak)/(1<<20), *maxHeapMiB, peak <= limit)
+		if peak > limit {
+			log.Fatalf("peak heap %.1f MiB exceeds -max-heap-mib %d", float64(peak)/(1<<20), *maxHeapMiB)
+		}
 	}
 	log.Printf("\ntotal wall time %v", time.Since(start).Round(time.Millisecond))
 }

@@ -57,6 +57,15 @@ type CampaignConfig struct {
 	// campaign: daemons register one Metrics per process and thread it
 	// through every campaign they build.
 	Metrics *Metrics
+	// HeapRows allocates each combined-matrix row as its own heap object
+	// instead of carving rows from the flat slab arena (slab.go). The
+	// slab is the default — at paper scale per-row allocation leaves
+	// hundreds of multi-megabyte GC-scanned objects where the arena uses
+	// a handful of pointer-free blocks. The fold result is byte-identical
+	// either way (TestCensusDeterminism pins slab vs heap); the knob
+	// exists for that comparison and for callers that want individual
+	// rows to be collectable.
+	HeapRows bool
 }
 
 func (c CampaignConfig) foldWorkers() int {
@@ -75,6 +84,7 @@ type Campaign struct {
 
 	combined *Combined
 	byID     map[int]int // vp.ID -> row slot in combined
+	arena    *slabArena  // backs combined rows unless cfg.HeapRows
 	grey     *prober.Greylist
 	health   CampaignHealth
 	runs     []*Run
@@ -183,10 +193,17 @@ func (cp *Campaign) FoldRun(run *Run) error {
 	if shardsPerRow == 0 {
 		shardsPerRow = 1 // zero-target campaigns still register VPs
 	}
-	for vi := range run.VPs {
-		if fresh[vi] {
-			// Allocation happens once, outside the sharded loop.
-			c.RTTus[slots[vi]] = make([]int32, nT)
+	// Allocation happens once, outside the sharded loop: fresh rows are
+	// carved together from the slab arena (or individually on the heap
+	// under cfg.HeapRows) and overwritten whole by the copy below.
+	if nFresh := countFresh(fresh); nFresh > 0 {
+		rows := cp.newRows(nFresh, nT)
+		ri := 0
+		for vi := range run.VPs {
+			if fresh[vi] {
+				c.RTTus[slots[vi]] = rows[ri]
+				ri++
+			}
 		}
 	}
 	total := len(run.VPs) * shardsPerRow
@@ -268,6 +285,32 @@ func (cp *Campaign) FoldRun(run *Run) error {
 		}
 	}
 	return nil
+}
+
+// newRows returns n fresh zero-valued combined rows, slab-carved unless
+// the campaign is configured for per-row heap allocation.
+func (cp *Campaign) newRows(n, rowLen int) [][]int32 {
+	if cp.cfg.HeapRows {
+		rows := make([][]int32, n)
+		for i := range rows {
+			rows[i] = make([]int32, rowLen)
+		}
+		return rows
+	}
+	if cp.arena == nil || cp.arena.rowLen != rowLen {
+		cp.arena = newSlabArena(rowLen)
+	}
+	return cp.arena.alloc(n)
+}
+
+func countFresh(fresh []bool) int {
+	n := 0
+	for _, f := range fresh {
+		if f {
+			n++
+		}
+	}
+	return n
 }
 
 // orDirty merges a local dirty mask into the shared bitmap word.

@@ -350,9 +350,7 @@ func buildHealth(round uint64, perVP []VPHealth, rowSamples []int) RunHealth {
 // emptyRow returns an all-noSample row.
 func emptyRow(n int) []int32 {
 	row := make([]int32, n)
-	for i := range row {
-		row[i] = noSample
-	}
+	fillNoSample(row)
 	return row
 }
 

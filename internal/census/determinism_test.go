@@ -2,6 +2,7 @@ package census
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -27,6 +28,13 @@ type digestConfig struct {
 	foldWorkers  int
 	shardTargets int
 	incremental  bool
+	// heapRows switches the streaming fold off the flat slab arena and
+	// back to per-row heap allocation; digests must not notice.
+	heapRows bool
+	// pipelined executes each round in (VP, target-span) units through
+	// ExecuteRoundPipelined instead of materializing the whole round.
+	pipelined   bool
+	spanTargets int
 }
 
 // campaignDigest runs a small three-round campaign and serializes
@@ -69,21 +77,40 @@ func campaignDigest(t *testing.T, dc digestConfig) []byte {
 		Census:       cfg,
 		FoldWorkers:  dc.foldWorkers,
 		ShardTargets: dc.shardTargets,
+		HeapRows:     dc.heapRows,
 	})
 	if dc.incremental {
 		cp.AttachAnalyzer(NewAnalyzer(cities.Default(), AnalyzerConfig{Workers: dc.workers}))
 	}
 	var runs []*Run
 	for round := uint64(1); round <= 3; round++ {
+		// The whole-round run is always executed: its saved bytes and
+		// round summary are part of the digest, so a pipelined variant is
+		// pinned against the exact per-round numbers of the whole-round
+		// path, not just the final matrix.
 		run := Execute(w, vps, h, blacklist, round, cfg)
 		if err := SaveRun(&buf, run); err != nil {
 			t.Fatal(err)
 		}
-		if dc.stream {
+		fmt.Fprintf(&buf, "roundsum %d probes=%d echo=%d grey=%d\n",
+			round, run.TotalProbes(), run.EchoTargets(), run.Greylist.Len())
+		switch {
+		case dc.pipelined:
+			sum, err := cp.ExecuteRoundPipelined(context.Background(), w, vps, h, blacklist, round,
+				PipelineConfig{SpanTargets: dc.spanTargets})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.Probes != run.TotalProbes() || sum.EchoTargets != run.EchoTargets() || sum.GreylistLen != run.Greylist.Len() {
+				t.Fatalf("round %d pipelined summary (probes=%d echo=%d grey=%d) != whole-round (probes=%d echo=%d grey=%d)",
+					round, sum.Probes, sum.EchoTargets, sum.GreylistLen,
+					run.TotalProbes(), run.EchoTargets(), run.Greylist.Len())
+			}
+		case dc.stream:
 			if err := cp.FoldRun(run); err != nil {
 				t.Fatal(err)
 			}
-		} else {
+		default:
 			runs = append(runs, run)
 		}
 		// Per-round analysis outcomes, through whichever path the
@@ -92,7 +119,7 @@ func campaignDigest(t *testing.T, dc digestConfig) []byte {
 		case dc.incremental:
 			cp.AnalyzeDirty()
 			digestOutcomes(round, cp.Outcomes())
-		case dc.stream:
+		case dc.stream || dc.pipelined:
 			digestOutcomes(round, AnalyzeAll(cities.Default(), cp.Combined(), core.Options{}, 2, dc.workers))
 		default:
 			c, err := Combine(runs...)
@@ -105,7 +132,7 @@ func campaignDigest(t *testing.T, dc digestConfig) []byte {
 
 	var combined *Combined
 	grey := prober.NewGreylist()
-	if dc.stream {
+	if dc.stream || dc.pipelined {
 		combined = cp.Combined()
 		grey.Merge(cp.Greylist())
 	} else {
@@ -172,6 +199,11 @@ func TestCensusDeterminism(t *testing.T) {
 		{"incremental_workers4", digestConfig{workers: 4, stream: true, foldWorkers: 4, shardTargets: 64, incremental: true}},
 		{"incremental_workers3_shard1", digestConfig{workers: 3, stream: true, foldWorkers: 2, shardTargets: 1, incremental: true}},
 		{"incremental_nocache_workers4", digestConfig{disableCache: true, workers: 4, stream: true, incremental: true}},
+		{"stream_heaprows", digestConfig{workers: 4, stream: true, foldWorkers: 4, shardTargets: 64, heapRows: true}},
+		{"pipelined_default", digestConfig{workers: 4, pipelined: true}},
+		{"pipelined_span17", digestConfig{workers: 3, pipelined: true, spanTargets: 17}},
+		{"pipelined_heaprows", digestConfig{workers: 2, pipelined: true, spanTargets: 128, heapRows: true}},
+		{"pipelined_incremental", digestConfig{workers: 4, pipelined: true, spanTargets: 64, incremental: true}},
 	} {
 		got := campaignDigest(t, tc.dc)
 		if !bytes.Equal(ref, got) {

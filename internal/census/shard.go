@@ -371,18 +371,31 @@ func (cp *Campaign) BeginRound(round uint64, targets []netsim.IP, vps []platform
 		cp.dirty = make([]uint32, (len(c.Targets)+31)/32)
 	}
 	slots := make([]int, len(vps))
+	fresh := make([]bool, len(vps))
 	for vi, vp := range vps {
 		si, ok := cp.byID[vp.ID]
 		if !ok {
 			si = len(c.VPs)
 			cp.byID[vp.ID] = si
 			c.VPs = append(c.VPs, vp)
-			// A fresh row starts all-NoSample: min-merging shard spans
-			// into it is then byte-identical to FoldRun's copy of a full
-			// fresh row, unanswered cells included.
-			c.RTTus = append(c.RTTus, emptyRow(len(c.Targets)))
+			c.RTTus = append(c.RTTus, nil)
+			fresh[vi] = true
 		}
 		slots[vi] = si
+	}
+	// A fresh row starts all-NoSample: min-merging shard spans into it is
+	// then byte-identical to FoldRun's copy of a full fresh row,
+	// unanswered cells included. Rows are slab-carved as in FoldRun.
+	if nFresh := countFresh(fresh); nFresh > 0 {
+		rows := cp.newRows(nFresh, len(c.Targets))
+		ri := 0
+		for vi := range vps {
+			if fresh[vi] {
+				fillNoSample(rows[ri])
+				c.RTTus[slots[vi]] = rows[ri]
+				ri++
+			}
+		}
 	}
 	if len(cp.shardSlots) < len(c.VPs) {
 		cp.shardSlots = make([]bool, len(c.VPs))

@@ -1,0 +1,67 @@
+package census
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestSlabArenaPacksRows(t *testing.T) {
+	const rowLen = 100
+	a := newSlabArena(rowLen)
+	rows := a.alloc(7)
+	if len(rows) != 7 {
+		t.Fatalf("alloc(7) returned %d rows", len(rows))
+	}
+	for i, row := range rows {
+		if len(row) != rowLen {
+			t.Fatalf("row %d has %d cells, want %d", i, len(row), rowLen)
+		}
+		if cap(row) != rowLen {
+			t.Fatalf("row %d cap %d leaks into the next row", i, cap(row))
+		}
+	}
+	if a.blocks != 1 {
+		t.Fatalf("7 small rows cost %d blocks, want 1", a.blocks)
+	}
+	// Rows of one alloc are packed back to back in one block.
+	for i := 0; i+1 < len(rows); i++ {
+		lo := uintptr(unsafe.Pointer(&rows[i][0]))
+		hi := uintptr(unsafe.Pointer(&rows[i+1][0]))
+		if hi-lo != rowLen*4 {
+			t.Fatalf("rows %d and %d are %d bytes apart, want %d", i, i+1, hi-lo, rowLen*4)
+		}
+	}
+	// Rows do not alias: distinct writes stay distinct.
+	for i, row := range rows {
+		for j := range row {
+			row[j] = int32(i)
+		}
+	}
+	for i, row := range rows {
+		for j, v := range row {
+			if v != int32(i) {
+				t.Fatalf("row %d cell %d clobbered to %d", i, j, v)
+			}
+		}
+	}
+}
+
+func TestSlabArenaBlockCapSplits(t *testing.T) {
+	// A row wider than half the block cap forces one block per row.
+	rowLen := slabBlockBytes / 4
+	a := newSlabArena(rowLen)
+	rows := a.alloc(3)
+	if len(rows) != 3 || a.blocks != 3 {
+		t.Fatalf("3 cap-sized rows: got %d rows in %d blocks, want 3 in 3", len(rows), a.blocks)
+	}
+}
+
+func TestSlabArenaZeroRowLen(t *testing.T) {
+	a := newSlabArena(0)
+	rows := a.alloc(2)
+	for i, row := range rows {
+		if row == nil || len(row) != 0 {
+			t.Fatalf("zero-target row %d = %v, want empty non-nil", i, row)
+		}
+	}
+}

@@ -239,27 +239,21 @@ func (s *agentSession) executeLease(l leaseMsg) {
 		return
 	}
 	span := s.targets[l.Lo:l.Hi]
-	idx := make(map[netsim.IP]int, len(span))
-	for i, ip := range span {
-		idx[ip] = i
-	}
 	row := make([]int32, len(span))
 	for i := range row {
 		row[i] = census.NoSample
 	}
-	sink := func(smp record.Sample) {
+	sink := func(ti int, smp record.Sample) {
 		if smp.Kind != netsim.ReplyEcho {
 			return
 		}
-		if ti, ok := idx[smp.Target]; ok {
-			us := smp.RTT.Microseconds()
-			if us > 1<<30 {
-				us = 1 << 30
-			}
-			row[ti] = int32(us)
+		us := smp.RTT.Microseconds()
+		if us > 1<<30 {
+			us = 1 << 30
 		}
+		row[ti] = int32(us)
 	}
-	stats, grey, err := prober.Run(s.world, l.VP, span, s.blacklist,
+	stats, grey, err := prober.RunIndexed(s.world, l.VP, span, s.blacklist,
 		prober.Config{Rate: s.ccfg.Rate, Round: l.Round, Seed: s.ccfg.Seed, Attempt: l.Attempt},
 		sink)
 	if err != nil {

@@ -276,6 +276,20 @@ func (s Stats) String() string {
 // way with a *netsim.VPCrashError (retryable via Config.Attempt), and
 // flap/burst faults surface as elevated timeouts in the statistics.
 func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, cfg Config, sink func(record.Sample)) (Stats, *Greylist, error) {
+	var isink func(int, record.Sample)
+	if sink != nil {
+		isink = func(_ int, smp record.Sample) { sink(smp) }
+	}
+	return RunIndexed(w, vp, targets, skip, cfg, isink)
+}
+
+// RunIndexed is Run with the target's index in targets passed alongside
+// each sample. Shard executors fold samples into a row positionally; the
+// probe loop already knows the index it drew from the permutation, so
+// handing it to the sink spares the caller a target→index lookup per
+// reply — at census scale that lookup (or the map backing it) dominates a
+// narrow span's probing cost.
+func RunIndexed(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, cfg Config, sink func(int, record.Sample)) (Stats, *Greylist, error) {
 	stats := Stats{VP: vp}
 	// One observation per run, on every return path; the per-probe loop
 	// never touches the metrics.
@@ -379,7 +393,7 @@ func Run(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Greylist, c
 			continue // timeouts are not recorded
 		}
 		if sink != nil {
-			sink(record.Sample{Target: target, TimestampMs: tsMs, Kind: reply.Kind, RTT: reply.RTT})
+			sink(int(idx), record.Sample{Target: target, TimestampMs: tsMs, Kind: reply.Kind, RTT: reply.RTT})
 		}
 	}
 

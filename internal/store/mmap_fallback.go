@@ -1,0 +1,21 @@
+//go:build !unix
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap reads the file into the
+// heap; the snapshot then behaves like a mapped one minus the page-cache
+// residency (refcounting still gates access, munmap is a no-op).
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+func munmapFile([]byte) {}

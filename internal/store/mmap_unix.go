@@ -1,0 +1,28 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. The second return reports whether the
+// bytes need munmapFile (a zero-length file yields a nil, unmapped slice:
+// there is nothing to map, and every region is empty anyway).
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func munmapFile(data []byte) {
+	if data != nil {
+		syscall.Munmap(data)
+	}
+}

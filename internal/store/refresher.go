@@ -45,6 +45,14 @@ type Refresher struct {
 	// Log, when set, receives one line per refresh outcome.
 	Log func(format string, args ...any)
 
+	// SnapshotPath, when set, persists every built snapshot to this file
+	// (atomic temp+rename) and republishes it as an mmap-backed snapshot:
+	// the daemon then serves from the page cache with no resident heap
+	// proportional to targets, and the file doubles as a warm-boot image.
+	// A persist or remap failure is counted and logged but never blocks the
+	// refresh — the in-heap snapshot publishes instead.
+	SnapshotPath string
+
 	// InitialBackoff is the first retry delay when the startup refresh
 	// fails; zero means 100ms. Until the first snapshot publishes, Run
 	// retries on this capped-exponential schedule instead of sitting dark
@@ -59,6 +67,8 @@ type Refresher struct {
 	degradedBuilds atomic.Uint64
 	failed         atomic.Uint64
 	panics         atomic.Uint64
+	persisted      atomic.Uint64
+	persistErrs    atomic.Uint64
 	lastNanos      atomic.Int64
 }
 
@@ -153,11 +163,34 @@ func (r *Refresher) RefreshOnce(ctx context.Context) (published bool) {
 		r.degraded.Add(1)
 		r.logf("store: campaign degraded: %s", snap.Health())
 	}
+	if r.SnapshotPath != "" {
+		if mapped, perr := r.persist(snap); perr != nil {
+			r.persistErrs.Add(1)
+			r.logf("store: snapshot persist failed (serving from heap): %v", perr)
+		} else {
+			r.persisted.Add(1)
+			snap = mapped
+		}
+	}
 	v := r.store.Publish(snap)
 	r.completed.Add(1)
-	r.logf("store: published snapshot v%d: %d anycast /24s, %d ASes, %d replicas (%v)",
-		v, snap.Len(), snap.ASes(), snap.TotalReplicas(), time.Since(start).Round(time.Millisecond))
+	backing := "heap"
+	if snap.Mapped() {
+		backing = "mmap"
+	}
+	r.logf("store: published snapshot v%d: %d anycast /24s, %d ASes, %d replicas, %s-backed (%v)",
+		v, snap.Len(), snap.ASes(), snap.TotalReplicas(), backing, time.Since(start).Round(time.Millisecond))
 	return true
+}
+
+// persist writes the snapshot to SnapshotPath and reopens it as a
+// file-backed snapshot. The write is validated by the reopen itself
+// (header, CRC, index monotonicity) before anything reaches the store.
+func (r *Refresher) persist(snap *Snapshot) (*Snapshot, error) {
+	if err := SaveSnapshotFile(r.SnapshotPath, snap); err != nil {
+		return nil, err
+	}
+	return OpenSnapshotFile(r.SnapshotPath)
 }
 
 func (r *Refresher) logf(format string, args ...any) {
@@ -174,11 +207,16 @@ type RefresherStats struct {
 	DegradedPublishes uint64 `json:"degraded_publishes"`
 	// DegradedBuilds counts published snapshots whose build also returned
 	// an error (some vantage points failed outright).
-	DegradedBuilds uint64        `json:"degraded_builds"`
-	Failed         uint64        `json:"failed"`
-	Panics         uint64        `json:"panics"`
-	LastRefresh    time.Duration `json:"last_refresh_ns"`
-	Interval       time.Duration `json:"interval_ns"`
+	DegradedBuilds uint64 `json:"degraded_builds"`
+	Failed         uint64 `json:"failed"`
+	Panics         uint64 `json:"panics"`
+	// Persisted counts snapshots written to SnapshotPath and republished
+	// mmap-backed; PersistErrors counts persist attempts that fell back to
+	// publishing the in-heap snapshot.
+	Persisted     uint64        `json:"persisted,omitempty"`
+	PersistErrors uint64        `json:"persist_errors,omitempty"`
+	LastRefresh   time.Duration `json:"last_refresh_ns"`
+	Interval      time.Duration `json:"interval_ns"`
 }
 
 // Stats samples the counters.
@@ -189,6 +227,8 @@ func (r *Refresher) Stats() RefresherStats {
 		DegradedBuilds:    r.degradedBuilds.Load(),
 		Failed:            r.failed.Load(),
 		Panics:            r.panics.Load(),
+		Persisted:         r.persisted.Load(),
+		PersistErrors:     r.persistErrs.Load(),
 		LastRefresh:       time.Duration(r.lastNanos.Load()),
 		Interval:          r.interval,
 	}
@@ -224,6 +264,15 @@ type CensusSource struct {
 	// target shards to a net.Pipe fleet) instead of the in-process
 	// executor. The published snapshot is byte-identical either way.
 	Agents int
+	// Pipelined, when Agents is zero, runs each round through the
+	// shard-pipelined executor: probe results fold into the combined
+	// matrix span by span as they land, so peak heap holds in-flight
+	// spans instead of a whole round of rows. Byte-identical to the
+	// batch executor.
+	Pipelined bool
+	// SpanTargets is the pipelined probe-span width; zero means the
+	// executor default (65,536 targets).
+	SpanTargets int
 	// Metrics, when set, instruments every campaign this source builds
 	// (rounds folded, fold/analyze latency, cert reuse). The instruments
 	// outlive individual campaigns, so counters accumulate across
@@ -268,6 +317,13 @@ func (cs *CensusSource) Build(ctx context.Context) (*Snapshot, error) {
 	execute := func(ctx context.Context, round uint64, vps []platform.VP) error {
 		_, err := cp.ExecuteRound(ctx, cs.World, vps, cs.Hitlist, cs.Blacklist, round)
 		return err
+	}
+	if cs.Pipelined && cs.Agents <= 0 {
+		pc := census.PipelineConfig{SpanTargets: cs.SpanTargets}
+		execute = func(ctx context.Context, round uint64, vps []platform.VP) error {
+			_, err := cp.ExecuteRoundPipelined(ctx, cs.World, vps, cs.Hitlist, cs.Blacklist, round, pc)
+			return err
+		}
 	}
 	if cs.Agents > 0 {
 		coord, err := cluster.NewCoordinator(cluster.Config{

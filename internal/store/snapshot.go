@@ -11,6 +11,8 @@ package store
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"anycastmap/internal/analysis"
@@ -62,12 +64,29 @@ type Snapshot struct {
 
 	// prefixes is sorted ascending; entries is parallel to it. The pair
 	// is the O(log n) lookup index: a /24 probe key binary-searches
-	// prefixes and lands on its entry.
+	// prefixes and lands on its entry. For a file-backed snapshot
+	// (OpenSnapshotFile) prefixes is a zero-copy view into the mapping,
+	// entries is nil, and the lazy table below takes its place.
 	prefixes []netsim.Prefix24
 	entries  []Entry
 
 	ases          int
 	totalReplicas int
+
+	// File-backed serving state (snapfile.go). m refcounts the mapped
+	// bytes; entriesBlob/entryOff address each entry's encoding inside
+	// them; lazy caches decoded entries (heap copies, safe to hold after
+	// the unmap) so a hot /24 decodes exactly once. Raw-memory access —
+	// LookupPrefix's binary search, an entry's first decode — must happen
+	// under an acquired mapping reference (Store.Acquire does this).
+	m           *mapping
+	entriesBlob []byte
+	entryOff    []uint32
+	lazy        []atomic.Pointer[Entry]
+	decodeErrs  atomic.Uint64
+	closed      atomic.Bool
+	allOnce     sync.Once
+	all         []Entry
 }
 
 // NewSnapshot indexes a finding set. round is the census round the
@@ -128,13 +147,55 @@ func (s *Snapshot) Lookup(ip netsim.IP) (*Entry, bool) {
 	return s.LookupPrefix(ip.Prefix())
 }
 
-// LookupPrefix is Lookup at /24 granularity.
+// LookupPrefix is Lookup at /24 granularity. For a file-backed snapshot
+// the caller must hold an acquired mapping reference (Store lookups do).
 func (s *Snapshot) LookupPrefix(p netsim.Prefix24) (*Entry, bool) {
 	i := sort.Search(len(s.prefixes), func(i int) bool { return s.prefixes[i] >= p })
 	if i < len(s.prefixes) && s.prefixes[i] == p {
-		return &s.entries[i], true
+		e := s.entryAt(i)
+		return e, e != nil
 	}
 	return nil, false
+}
+
+// entryAt returns the i-th entry, decoding it from the mapped blob on
+// first access for file-backed snapshots. A decode failure (a CRC-valid
+// file from a buggy writer) is counted and reported as absent rather than
+// poisoning the index.
+func (s *Snapshot) entryAt(i int) *Entry {
+	if s.m == nil {
+		return &s.entries[i]
+	}
+	if e := s.lazy[i].Load(); e != nil {
+		return e
+	}
+	e, err := decodeSnapEntry(s.entriesBlob[s.entryOff[i]:s.entryOff[i+1]], s.prefixes[i])
+	if err != nil {
+		s.decodeErrs.Add(1)
+		return nil
+	}
+	if !s.lazy[i].CompareAndSwap(nil, e) {
+		e = s.lazy[i].Load()
+	}
+	return e
+}
+
+// Mapped reports whether the snapshot serves from a mapped file.
+func (s *Snapshot) Mapped() bool { return s.m != nil }
+
+// DecodeErrors counts lazy entry decodes that failed (0 on a healthy
+// snapshot; non-zero only for a CRC-valid file with malformed entries).
+func (s *Snapshot) DecodeErrors() uint64 { return s.decodeErrs.Load() }
+
+// Close drops a file-backed snapshot's owner reference; the underlying
+// file unmaps once the last concurrent reader releases it. Heap-built
+// snapshots ignore Close. Store.Publish closes the snapshot it replaces,
+// so explicit Closes are only needed for snapshots that never publish.
+func (s *Snapshot) Close() error {
+	if s.m != nil && !s.closed.Swap(true) {
+		s.m.release()
+	}
+	return nil
 }
 
 // SetHealth records the campaign health of the snapshot's build. Like
@@ -162,8 +223,9 @@ func (s *Snapshot) Rounds() int { return s.rounds }
 // BuiltAt is the construction time.
 func (s *Snapshot) BuiltAt() time.Time { return s.builtAt }
 
-// Len returns the number of indexed anycast /24s.
-func (s *Snapshot) Len() int { return len(s.entries) }
+// Len returns the number of indexed anycast /24s. prefixes rather than
+// entries is counted because a file-backed snapshot has no entries slice.
+func (s *Snapshot) Len() int { return len(s.prefixes) }
 
 // ASes returns the number of distinct origin ASes.
 func (s *Snapshot) ASes() int { return s.ases }
@@ -172,5 +234,25 @@ func (s *Snapshot) ASes() int { return s.ases }
 func (s *Snapshot) TotalReplicas() int { return s.totalReplicas }
 
 // Entries exposes the indexed entries in prefix order. The slice is the
-// snapshot's own storage: callers must treat it as read-only.
-func (s *Snapshot) Entries() []Entry { return s.entries }
+// snapshot's own storage: callers must treat it as read-only. On a
+// file-backed snapshot the first call decodes every entry into a
+// memoized heap slice (callers needing the full set pay the decode once;
+// single-IP lookups never do) and must run under an acquired mapping
+// reference, as Store.Acquire arranges.
+func (s *Snapshot) Entries() []Entry {
+	if s.m == nil {
+		return s.entries
+	}
+	s.allOnce.Do(func() {
+		out := make([]Entry, len(s.prefixes))
+		for i := range out {
+			if e := s.entryAt(i); e != nil {
+				out[i] = *e
+			} else {
+				out[i] = Entry{Prefix: s.prefixes[i]}
+			}
+		}
+		s.all = out
+	})
+	return s.all
+}

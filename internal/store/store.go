@@ -40,17 +40,45 @@ func New(opt Options) *Store {
 
 // Publish stamps the snapshot with the next version and makes it the one
 // every subsequent Lookup sees. It returns the assigned version. The
-// snapshot must not be mutated after publishing.
+// snapshot must not be mutated after publishing. The snapshot it
+// replaces is Closed: for a file-backed predecessor that drops the owner
+// reference, so its file unmaps as soon as the last in-flight reader
+// releases it (new readers can no longer acquire it — they load the
+// fresh snapshot).
 func (s *Store) Publish(snap *Snapshot) uint64 {
 	v := s.version.Add(1)
 	snap.version = v
-	s.snap.Store(snap)
+	old := s.snap.Swap(snap)
 	s.swaps.Add(1)
+	if old != nil && old != snap {
+		old.Close()
+	}
 	return v
 }
 
 // Current returns the live snapshot, or nil before the first Publish.
+// For file-backed snapshots, prefer Acquire around any use that touches
+// entries or the prefix index: Current alone does not pin the mapping
+// against a concurrent Publish unmapping it.
 func (s *Store) Current() *Snapshot { return s.snap.Load() }
+
+// Acquire returns the live snapshot pinned against unmapping, plus a
+// release function (call it when done; it is cheap and nil-safe to defer
+// even when the snapshot is nil). For heap-built snapshots the pin is
+// free. The retry loop handles the one race: a reader that loads a
+// snapshot just as a Publish replaces and closes it finds the mapping
+// dead and simply loads the successor.
+func (s *Store) Acquire() (*Snapshot, func()) {
+	for {
+		snap := s.snap.Load()
+		if snap == nil || snap.m == nil {
+			return snap, func() {}
+		}
+		if snap.m.acquire() {
+			return snap, func() { snap.m.release() }
+		}
+	}
+}
 
 // Ready reports whether a snapshot has been published.
 func (s *Store) Ready() bool { return s.snap.Load() != nil }
@@ -80,7 +108,15 @@ func (s *Store) Lookup(ip netsim.IP) Answer {
 		return Answer{IP: ip, Anycast: e != nil, Entry: e, Version: v}
 	}
 	s.misses.Add(1)
+	// Cache miss: the index walk touches raw snapshot memory, so pin the
+	// mapping for its duration. The answer itself is heap-owned (decoded
+	// entries never point into the mapping) and outlives the pin.
+	snap, release := s.Acquire()
+	if snap == nil {
+		return Answer{IP: ip}
+	}
 	e, ok := snap.Lookup(ip)
+	release()
 	if !ok {
 		e = nil
 	}
@@ -94,7 +130,8 @@ func (s *Store) Lookup(ip netsim.IP) Answer {
 // traffic is cheaper than churning the cache.
 func (s *Store) LookupBatch(ips []netsim.IP) []Answer {
 	out := make([]Answer, len(ips))
-	snap := s.snap.Load()
+	snap, release := s.Acquire()
+	defer release()
 	s.lookups.Add(uint64(len(ips)))
 	if snap == nil {
 		for i, ip := range ips {
