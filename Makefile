@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify clean bench bench-smoke bench-json stream-smoke scale-smoke analyze-smoke cluster-smoke metrics-smoke profile
+.PHONY: all build vet test race verify clean bench bench-smoke bench-json stream-smoke scale-smoke analyze-smoke cluster-smoke metrics-smoke route-smoke profile
 
 all: verify
 
@@ -25,18 +25,20 @@ verify: vet build race
 # bench runs the probe-path, prober, census and serving microbenchmarks
 # with allocation reporting; compare runs with benchstat if available.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./internal/netsim ./internal/prober ./internal/census ./internal/store .
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/netsim ./internal/prober ./internal/census ./internal/store ./internal/route .
 
 # bench-smoke is the CI gate: every benchmark must still run (one
 # iteration), catching bit-rot in the benchmark harness itself.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/netsim ./internal/prober ./internal/census ./internal/store .
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/netsim ./internal/prober ./internal/census ./internal/store ./internal/route .
 
 # bench-json regenerates the committed benchmark trajectory point,
-# including the million-target paper-scale pipelined campaign (1.7M
-# unicast /24s prune to ~1.05M targets; expect several minutes).
+# including the route-serving block (answer-path qps, UDP loopback,
+# snapshot-swap flatness). The million-target paper-scale campaign is
+# off by default here; add -paper-unicast24s 1700000 to re-measure it.
 bench-json:
-	$(GO) run ./cmd/benchreport -exp none -benchjson BENCH_7.json -paper-unicast24s 1700000
+	$(GO) run ./cmd/benchreport -exp none -benchjson BENCH_8.json \
+		-stream-unicast24s 0 -paper-unicast24s 0
 
 # stream-smoke proves the streaming data path's memory bound: a 150k-/24
 # campaign (above netsim.DefaultUniBaseCacheCap, so the per-VP unicast
@@ -82,6 +84,13 @@ cluster-smoke:
 # census, store, cluster, and per-endpoint HTTP.
 metrics-smoke:
 	./scripts/metrics_smoke.sh
+
+# route-smoke proves the routing front-end end to end: anycastd boots
+# with -dns, a service prefix is discovered via GET /v1/prefixes, 50k
+# queries go through the DNS/UDP path via routeload, and GET /metrics
+# must carry the anycastmap_route_* series with matching counts.
+route-smoke:
+	./scripts/route_smoke.sh
 
 # profile captures CPU and heap profiles of a full census run; inspect
 # with `go tool pprof cpu.pprof`.

@@ -14,6 +14,10 @@
 // hot-swaps the index with zero reader downtime: queries issued during a
 // refresh answer from the previous snapshot. SIGINT/SIGTERM drain the
 // server gracefully.
+//
+// With -dns ADDR the daemon also serves the DNS/UDP routing front-end
+// (package route): A/TXT queries for <a>.<b>.<c>.<zone> steer clients
+// to deployment replicas under the census-informed policy chain.
 package main
 
 import (
@@ -34,11 +38,15 @@ import (
 	"anycastmap/internal/obs"
 	"anycastmap/internal/platform"
 	"anycastmap/internal/prober"
+	"anycastmap/internal/route"
 	"anycastmap/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8090", "listen address")
+	dnsAddr := flag.String("dns", "", "serve the DNS/UDP routing front-end on this address (empty = disabled)")
+	dnsListeners := flag.Int("dns-listeners", 0, "SO_REUSEPORT UDP listeners for the routing front-end (0 = GOMAXPROCS)")
+	dnsZone := flag.String("dns-zone", route.DefaultZone, "zone suffix the routing front-end answers for")
 	unicast := flag.Int("unicast24s", 6000, "unicast /24 background size")
 	rounds := flag.Int("censuses", 2, "census rounds combined per snapshot")
 	vpsPer := flag.Int("vps", 261, "vantage points per census round")
@@ -175,6 +183,37 @@ func main() {
 		}
 	}
 	go r.Run(ctx)
+
+	// Routing front-end: the serving-side consumer of the map. It shares
+	// the store (so hot snapshot swaps steer traffic immediately), the
+	// world seed (so the synthetic client locator agrees with netsim) and
+	// the metrics registry (anycastmap_route_* series).
+	if *dnsAddr != "" {
+		eng, err := route.NewEngine(route.Config{
+			Store:   st,
+			Locator: route.HashLocator{Seed: *seed},
+			VPs:     pl.VPs(),
+		})
+		if err != nil {
+			log.Fatalf("routing engine: %v", err)
+		}
+		dnsSrv, err := route.NewServer(route.ServerConfig{
+			Addr:      *dnsAddr,
+			Listeners: *dnsListeners,
+			Engine:    eng,
+			Zone:      *dnsZone,
+			Metrics:   route.NewMetrics(reg),
+		})
+		if err != nil {
+			log.Fatalf("routing front-end: %v", err)
+		}
+		go func() {
+			<-ctx.Done()
+			dnsSrv.Close()
+		}()
+		log.Printf("routing front-end on udp://%s/ (%d listeners, zone %s)",
+			dnsSrv.Addr(), dnsSrv.Listeners(), *dnsZone)
+	}
 
 	api := store.NewAPI(st, r, store.APIConfig{MaxInFlight: *maxInFlight, Metrics: reg})
 	httpSrv := &http.Server{

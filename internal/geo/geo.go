@@ -72,6 +72,34 @@ func DistanceKm(a, b Coord) float64 {
 	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
 }
 
+// UnitVec returns the Earth-centered unit vector of a coordinate. For a
+// fixed point it is a pure function of the coordinate, so serving paths
+// precompute it once: the nearest-of-N scan then costs one dot product
+// per candidate instead of a haversine (two sincos and a sqrt), and the
+// ordering by dot product is exactly the ordering by great-circle
+// distance (larger dot = closer).
+func UnitVec(c Coord) [3]float64 {
+	sinLa, cosLa := math.Sincos(deg2rad(c.Lat))
+	sinLo, cosLo := math.Sincos(deg2rad(c.Lon))
+	return [3]float64{cosLa * cosLo, cosLa * sinLo, sinLa}
+}
+
+// VecDot is the dot product of two unit vectors: the cosine of the
+// central angle between the two points.
+func VecDot(a, b [3]float64) float64 {
+	return a[0]*b[0] + a[1]*b[1] + a[2]*b[2]
+}
+
+// VecDistKm converts a unit-vector dot product into great-circle km.
+func VecDistKm(dot float64) float64 {
+	if dot > 1 {
+		dot = 1
+	} else if dot < -1 {
+		dot = -1
+	}
+	return EarthRadiusKm * math.Acos(dot)
+}
+
 // PropagationRTT returns the round-trip time light in fiber needs to cover
 // the great-circle distance between a and b and back. It is the physical
 // lower bound for any RTT measured between the two points.

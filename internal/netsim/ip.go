@@ -11,7 +11,32 @@ type IP uint32
 
 // String formats the address in dotted-quad notation.
 func (ip IP) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+	var b [15]byte
+	return string(AppendIP(b[:0], ip))
+}
+
+// AppendIP appends the dotted-quad form of ip to dst and returns the
+// extended slice. With a pre-sized dst it performs no allocation, which
+// is what serving hot paths (TXT answer rendering, response scratch
+// buffers) need; String pays exactly the one unavoidable allocation.
+func AppendIP(dst []byte, ip IP) []byte {
+	for shift := 24; shift >= 0; shift -= 8 {
+		dst = appendOctet(dst, byte(ip>>shift))
+		if shift > 0 {
+			dst = append(dst, '.')
+		}
+	}
+	return dst
+}
+
+func appendOctet(dst []byte, v byte) []byte {
+	if v >= 100 {
+		dst = append(dst, '0'+v/100)
+	}
+	if v >= 10 {
+		dst = append(dst, '0'+(v/10)%10)
+	}
+	return append(dst, '0'+v%10)
 }
 
 // Prefix returns the /24 containing the address.
@@ -45,7 +70,13 @@ type Prefix24 uint32
 
 // String formats the prefix in CIDR notation.
 func (p Prefix24) String() string {
-	return fmt.Sprintf("%d.%d.%d.0/24", byte(p>>16), byte(p>>8), byte(p))
+	var b [18]byte
+	return string(AppendPrefix24(b[:0], p))
+}
+
+// AppendPrefix24 appends the CIDR form of p ("a.b.c.0/24") to dst.
+func AppendPrefix24(dst []byte, p Prefix24) []byte {
+	return append(AppendIP(dst, p.Host(0)), "/24"...)
 }
 
 // Contains reports whether ip belongs to the /24.

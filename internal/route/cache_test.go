@@ -1,0 +1,81 @@
+package route
+
+import (
+	"reflect"
+	"testing"
+
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/store"
+)
+
+// TestDecideForCached pins the cache's contract: cached answers are
+// byte-identical to the uncached path — on cold slots, on hits, across
+// direct-mapped evictions (more distinct clients than can coexist in
+// colliding slots), and across a snapshot swap, where the version gate
+// must force recomputation against the new generation.
+func TestDecideForCached(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		st   *store.Store
+	}{{"heap", testStore(t)}, {"mapped", mappedStore(t)}} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := testEngine(t, tc.st)
+			sc := &Scratch{}
+			check := func(stage string) {
+				t.Helper()
+				for _, prefer := range []Policy{PolicyNone, PolicyCatchmentAffine, PolicyHealthWeighted, PolicyNearestReplica} {
+					for i := 0; i < 2*decideCacheSize+37; i += 97 {
+						client := netsim.Prefix24(uint32(0x0b0000) + uint32(i))
+						for _, svc := range []netsim.Prefix24{svcPrefix, svc2Prefix, netsim.Prefix24(0x7f0000)} {
+							want, wantP := e.DecideFor(client, svc, prefer)
+							got, gotP := e.DecideForCached(sc, client, svc, prefer)
+							if gotP != wantP || !reflect.DeepEqual(got, want) {
+								t.Fatalf("%s: client %v svc %v prefer %v:\ncached   %+v (%v)\nuncached %+v (%v)",
+									stage, client, svc, prefer, got, gotP, want, wantP)
+							}
+							// Second call lands on the warm slot.
+							again, againP := e.DecideForCached(sc, client, svc, prefer)
+							if againP != wantP || !reflect.DeepEqual(again, want) {
+								t.Fatalf("%s: hit path diverged for client %v", stage, client)
+							}
+						}
+					}
+				}
+			}
+			check("v1")
+
+			// A new generation with a different ASN: every cached slot is
+			// now stale and must revalidate by version, never serving v1
+			// fields under v2.
+			tc.st.Publish(store.NewSnapshot(testFindings(t, 64999), nil, 2, 2))
+			ans, _ := e.DecideForCached(sc, netsim.Prefix24(0x0b0000), svcPrefix, PolicyNone)
+			if ans.Version != 2 || ans.ASN != 64999 {
+				t.Fatalf("post-swap cached answer = version %d asn %d, want 2/64999", ans.Version, ans.ASN)
+			}
+			check("v2")
+		})
+	}
+}
+
+// TestDecideForCachedZeroAllocs pins zero heap allocations on both the
+// miss and the hit path.
+func TestDecideForCachedZeroAllocs(t *testing.T) {
+	e := testEngine(t, mappedStore(t))
+	sc := &Scratch{}
+	if got := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			e.DecideForCached(sc, netsim.Prefix24(uint32(0x0b0000)+uint32(i)), svcPrefix, PolicyNone)
+		}
+	}); got != 0 {
+		t.Errorf("DecideForCached = %.1f allocs, want 0", got)
+	}
+}
+
+func BenchmarkDecideCached(b *testing.B) {
+	e := testEngine(b, mappedStore(b))
+	sc := &Scratch{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.DecideForCached(sc, netsim.Prefix24(uint32(0x0b0000)+uint32(i&1023)), svcPrefix, PolicyNone)
+	}
+}

@@ -1,0 +1,300 @@
+package route
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/netip"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anycastmap/internal/analysis"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/obs"
+	"anycastmap/internal/store"
+)
+
+func testServer(t *testing.T, st *store.Store, m *Metrics) *Server {
+	t.Helper()
+	e := testEngine(t, st)
+	s, err := NewServer(ServerConfig{
+		Addr:      "127.0.0.1:0",
+		Listeners: 2,
+		Engine:    e,
+		Metrics:   m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// exchange sends one query packet and returns the response.
+func exchange(t *testing.T, addr string, pkt []byte) []byte {
+	t.Helper()
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(pkt); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp := make([]byte, 2048)
+	n, err := conn.Read(resp)
+	if err != nil {
+		t.Fatalf("no response: %v", err)
+	}
+	return resp[:n]
+}
+
+func respRcode(resp []byte) int { return int(resp[3] & 0xf) }
+
+func TestServerEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	s := testServer(t, testStore(t), m)
+	if s.Listeners() < 1 {
+		t.Fatalf("no listeners bound")
+	}
+	addr := s.Addr().String()
+
+	// A query: NOERROR with one answer.
+	pkt := buildQuery(t, svcPrefix, PolicyNone, qtypeA, netsim.Prefix24(0x0b0001))
+	resp := exchange(t, addr, pkt)
+	if rc := respRcode(resp); rc != RcodeNoError {
+		t.Fatalf("A query rcode = %d", rc)
+	}
+	if an := int(resp[6])<<8 | int(resp[7]); an != 1 {
+		t.Fatalf("ANCOUNT = %d", an)
+	}
+
+	// TXT query with an explicit policy label.
+	pkt = buildQuery(t, svcPrefix, PolicyNearestReplica, qtypeTXT, netsim.Prefix24(0x0b0001))
+	resp = exchange(t, addr, pkt)
+	if !bytes.Contains(resp, []byte("policy=nearest-replica")) {
+		t.Errorf("TXT answer missing policy: %q", resp)
+	}
+
+	// Unknown service prefix: NXDOMAIN.
+	pkt = buildQuery(t, netsim.Prefix24(0xDEAD00), PolicyNone, qtypeA, netsim.Prefix24(0x0b0001))
+	if rc := respRcode(exchange(t, addr, pkt)); rc != RcodeNXDomain {
+		t.Errorf("unknown service rcode = %d", rc)
+	}
+
+	// No EDNS at all: the client prefix falls back to the UDP source
+	// (127.0.0.1/24 here) and the query still routes.
+	name, err := EncodeName(nil, "10.10.0."+DefaultZone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := []byte{0xab, 0xcd, 0x01, 0x00, 0, 1, 0, 0, 0, 0, 0, 0}
+	bare = append(bare, name...)
+	bare = append(bare, 0, 1, 0, 1)
+	resp = exchange(t, addr, bare)
+	if rc := respRcode(resp); rc != RcodeNoError {
+		t.Errorf("no-EDNS query rcode = %d", rc)
+	}
+
+	// Closed-loop load through the real socket path.
+	res, err := Run(LoadConfig{Addr: addr, Workers: 2, Queries: 2000, Service: svcPrefix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received < res.Sent*9/10 || res.Received == 0 {
+		t.Fatalf("load: %v", res)
+	}
+
+	// The metrics series saw the traffic.
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"anycastmap_route_queries_total",
+		"anycastmap_route_answers_total",
+		"anycastmap_route_answer_seconds",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("metrics missing %s:\n%s", want, text[:min(len(text), 400)])
+		}
+	}
+	if got := m.Queries.Value(); got < uint64(res.Sent) {
+		t.Errorf("queries_total = %d, want >= %d", got, res.Sent)
+	}
+}
+
+func TestServerServfailBeforePublish(t *testing.T) {
+	// A server over an empty store must SERVFAIL, not lie.
+	s := testServer(t, store.New(store.Options{}), nil)
+	pkt := buildQuery(t, svcPrefix, PolicyNone, qtypeA, netsim.Prefix24(0x0b0001))
+	if rc := respRcode(exchange(t, s.Addr().String(), pkt)); rc != RcodeServFail {
+		t.Fatalf("rcode = %d, want SERVFAIL", rc)
+	}
+}
+
+// TestRespondZeroAllocsPerQuery pins the tentpole claim end to end: the
+// full answer path — decode, decide, encode, metrics — performs zero
+// heap allocations per query, for A and TXT, on heap and mapped
+// snapshots.
+func TestRespondZeroAllocsPerQuery(t *testing.T) {
+	src := netip.MustParseAddrPort("192.0.2.1:5353")
+	for _, st := range []struct {
+		name string
+		st   *store.Store
+	}{{"heap", testStore(t)}, {"mapped", mappedStore(t)}} {
+		e := testEngine(t, st.st)
+		r, err := NewResponder(e, "", 30, NewMetrics(obs.NewRegistry()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qt := range []struct {
+			name  string
+			qtype uint16
+		}{{"A", qtypeA}, {"TXT", qtypeTXT}} {
+			pkt := buildQuery(t, svcPrefix, PolicyNone, qt.qtype, netsim.Prefix24(0x0b0001))
+			sc := &Scratch{}
+			if out := r.Respond(sc, pkt, src); out == nil || respRcode(out) != RcodeNoError {
+				t.Fatalf("%s/%s: bad warmup response", st.name, qt.name)
+			}
+			got := testing.AllocsPerRun(200, func() {
+				r.Respond(sc, pkt, src)
+			})
+			if got != 0 {
+				t.Errorf("%s/%s: Respond = %.1f allocs/op, want 0", st.name, qt.name, got)
+			}
+		}
+	}
+}
+
+// TestSwapUnderLoad publishes a dozen mapped snapshot generations while
+// workers hammer the answer path, then checks the two serving
+// invariants: no answer ever mixes fields from two versions, and every
+// replaced mapping's refcount drains to zero (the file actually
+// unmaps). The version is encoded in the findings' ASN, so mixing is
+// detectable from the answer alone. Run with -race to check the
+// publish/decide interleaving.
+func TestSwapUnderLoad(t *testing.T) {
+	const versions = 12
+	const asnBase = 64500
+	dir := t.TempDir()
+
+	st := store.New(store.Options{})
+	// Version k serves ASN asnBase+k; Publish assigns versions 1..12 in
+	// order.
+	load := func(k int) *store.Snapshot {
+		fs := []analysis.Finding{mkFinding(t, svcPrefix, asnBase+k, defaultReplicas)}
+		path := filepath.Join(dir, fmt.Sprintf("v%d.snap", k))
+		if err := store.SaveSnapshotFile(path, store.NewSnapshot(fs, nil, uint64(k), 1)); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := store.OpenSnapshotFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	snaps := make([]*store.Snapshot, versions+1)
+	snaps[1] = load(1)
+	st.Publish(snaps[1])
+
+	e := testEngine(t, st)
+	r, err := NewResponder(e, "", 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var mixed atomic.Int64
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	src := netip.MustParseAddrPort("192.0.2.1:5353")
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := &Scratch{}
+			for i := 0; !stop.Load(); i++ {
+				client := netsim.Prefix24(uint32(0x0b0000) + uint32(i&1023))
+				// Half the workers exercise the packet path, half the
+				// engine directly (the latter sees Version and ASN
+				// without parsing).
+				if w%2 == 0 {
+					ans, _ := e.Decide(client)
+					if ans.Version == 0 {
+						continue
+					}
+					served.Add(1)
+					if ans.ASN != asnBase+int(ans.Version) {
+						mixed.Add(1)
+					}
+				} else {
+					pkt := buildQuery(t, svcPrefix, PolicyNone, qtypeA, client)
+					if out := r.Respond(sc, pkt, src); out == nil || respRcode(out) != RcodeNoError {
+						mixed.Add(1)
+					} else {
+						served.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+
+	for k := 2; k <= versions; k++ {
+		time.Sleep(5 * time.Millisecond)
+		snaps[k] = load(k)
+		if v := st.Publish(snaps[k]); v != uint64(k) {
+			t.Errorf("publish %d assigned version %d", k, v)
+		}
+	}
+	time.Sleep(10 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if served.Load() == 0 {
+		t.Fatal("no queries served during the swaps")
+	}
+	if n := mixed.Load(); n != 0 {
+		t.Fatalf("%d answers mixed snapshot versions (of %d served)", n, served.Load())
+	}
+	// Every replaced snapshot's mapping must have drained: no worker
+	// holds a pin, and Publish dropped the owner reference.
+	for k := 1; k < versions; k++ {
+		if refs := snaps[k].MappingRefs(); refs != 0 {
+			t.Errorf("version %d still holds %d mapping refs", k, refs)
+		}
+	}
+	if refs := snaps[versions].MappingRefs(); refs < 1 {
+		t.Errorf("live snapshot refs = %d, want >= 1 (owner)", refs)
+	}
+	if got := st.Current().Version(); got != versions {
+		t.Errorf("current version = %d, want %d", got, versions)
+	}
+}
+
+// BenchmarkRespond measures the full per-packet answer path — decode,
+// decide, encode — that each UDP listener runs between syscalls.
+func BenchmarkRespond(b *testing.B) {
+	e := testEngine(b, mappedStore(b))
+	r, err := NewResponder(e, "", 30, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := netip.MustParseAddrPort("192.0.2.1:5353")
+	var reqs [][]byte
+	for i := 0; i < 1024; i++ {
+		reqs = append(reqs, buildQuery(b, svcPrefix, PolicyNone, qtypeA, netsim.Prefix24(uint32(0x0b0000)+uint32(i))))
+	}
+	sc := &Scratch{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Respond(sc, reqs[i&1023], src)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package route
+
+import "syscall"
+
+// reusePortControl is a no-op off linux: the second bind of the same
+// port fails there and the server falls back to a single listener.
+func reusePortControl(network, address string, c syscall.RawConn) error { return nil }

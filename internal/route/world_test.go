@@ -1,0 +1,121 @@
+package route
+
+import (
+	"path/filepath"
+	"testing"
+
+	"anycastmap/internal/analysis"
+	"anycastmap/internal/cities"
+	"anycastmap/internal/core"
+	"anycastmap/internal/geo"
+	"anycastmap/internal/netsim"
+	"anycastmap/internal/platform"
+	"anycastmap/internal/store"
+)
+
+// The test world: one anycast service at 10.10.0.0/24 with replicas in
+// Amsterdam (isolated by vp-ams), Tokyo (vp-tyo) and Ashburn (vp-ash),
+// plus a second service at 10.10.1.0/24. Vantage points sit in the same
+// three cities, so catchment-affine and nearest-replica agree unless a
+// test deliberately crosses them.
+
+const (
+	svcPrefix  = netsim.Prefix24(0x0a0a00) // 10.10.0.0/24
+	svc2Prefix = netsim.Prefix24(0x0a0a01) // 10.10.1.0/24
+)
+
+type testReplica struct {
+	vp   string
+	city string
+	cc   string
+}
+
+var defaultReplicas = []testReplica{
+	{"vp-ams", "Amsterdam", "NL"},
+	{"vp-tyo", "Tokyo", "JP"},
+	{"vp-ash", "Ashburn", "US"},
+}
+
+func mkFinding(t testing.TB, prefix netsim.Prefix24, asn int, reps []testReplica) analysis.Finding {
+	t.Helper()
+	db := cities.Default()
+	rs := make([]core.GeoReplica, len(reps))
+	for i, r := range reps {
+		rs[i] = core.GeoReplica{VP: r.vp, Located: true, City: db.MustByName(r.city, r.cc)}
+	}
+	return analysis.Finding{
+		Prefix: prefix,
+		ASN:    asn,
+		Result: core.Result{Anycast: true, Replicas: rs},
+	}
+}
+
+func testFindings(t testing.TB, asn int) []analysis.Finding {
+	return []analysis.Finding{
+		mkFinding(t, svcPrefix, asn, defaultReplicas),
+		mkFinding(t, svc2Prefix, asn, defaultReplicas[:2]),
+	}
+}
+
+func testVPs(t testing.TB) []platform.VP {
+	t.Helper()
+	db := cities.Default()
+	vps := make([]platform.VP, len(defaultReplicas))
+	for i, r := range defaultReplicas {
+		c := db.MustByName(r.city, r.cc)
+		vps[i] = platform.VP{ID: i, Name: r.vp, City: c, Loc: c.Loc}
+	}
+	return vps
+}
+
+// cityLocator places every client at a fixed coordinate.
+func cityLocator(loc geo.Coord) Locator {
+	return LocatorFunc(func(netsim.Prefix24) (geo.Coord, bool) { return loc, true })
+}
+
+func cityLoc(t testing.TB, name, cc string) geo.Coord {
+	t.Helper()
+	return cities.Default().MustByName(name, cc).Loc
+}
+
+// testStore publishes a heap snapshot of the default world.
+func testStore(t testing.TB) *store.Store {
+	t.Helper()
+	st := store.New(store.Options{})
+	st.Publish(store.NewSnapshot(testFindings(t, 64500), nil, 1, 1))
+	return st
+}
+
+// mappedStore publishes the same world served from a snapshot file.
+func mappedStore(t testing.TB) *store.Store {
+	t.Helper()
+	snap := store.NewSnapshot(testFindings(t, 64500), nil, 1, 1)
+	path := filepath.Join(t.TempDir(), "census.snap")
+	if err := store.SaveSnapshotFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := store.OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(store.Options{})
+	st.Publish(mapped)
+	return st
+}
+
+func testEngine(t testing.TB, st *store.Store, opts ...func(*Config)) *Engine {
+	t.Helper()
+	cfg := Config{Store: st, Service: svcPrefix, VPs: testVPs(t)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func withLocator(l Locator) func(*Config) { return func(c *Config) { c.Locator = l } }
+
+func withPolicies(ps ...Policy) func(*Config) { return func(c *Config) { c.Policies = ps } }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -117,6 +119,7 @@ func NewAPI(st *Store, refresher *Refresher, cfg APIConfig) *API {
 	a.handle("GET /v1/lookup", "lookup", a.handleLookup)
 	a.handle("POST /v1/lookup/batch", "batch", a.handleBatch)
 	a.handle("GET /v1/snapshot", "snapshot", a.handleSnapshot)
+	a.handle("GET /v1/prefixes", "prefixes", a.handlePrefixes)
 	a.handle("GET /v1/stats", "stats", a.handleStats)
 	if a.registry != nil {
 		scrape := a.registry.Handler()
@@ -175,20 +178,42 @@ type LookupResponse struct {
 	Version uint64 `json:"snapshot_version"`
 }
 
-func lookupResponse(ans Answer, withInstances bool) LookupResponse {
-	resp := LookupResponse{IP: ans.IP.String(), Anycast: ans.Anycast, Version: ans.Version}
+// lookupScratch is the reusable per-request state of the single-lookup
+// endpoint. The old shape allocated a fresh trimmed Entry copy per
+// request just to drop the instances from the JSON; pooling the
+// response struct and the trimmed copy keeps the handler's own work to
+// the one unavoidable allocation (the IP string) regardless of how many
+// instances the entry carries — TestLookupResponseAllocs pins it.
+type lookupScratch struct {
+	resp    LookupResponse
+	trimmed Entry
+	ipBuf   [15]byte
+}
+
+var lookupScratchPool = sync.Pool{New: func() any { return new(lookupScratch) }}
+
+// fill renders one answer into the scratch and returns the pooled
+// response value. The result aliases the scratch: marshal it before the
+// scratch goes back to the pool.
+func (sc *lookupScratch) fill(ans Answer, withInstances bool) *LookupResponse {
+	sc.resp = LookupResponse{
+		IP:      string(netsim.AppendIP(sc.ipBuf[:0], ans.IP)),
+		Anycast: ans.Anycast,
+		Version: ans.Version,
+	}
 	if ans.Entry != nil {
-		resp.Prefix = ans.Entry.Prefix.String()
+		sc.resp.Prefix = ans.Entry.PrefixString()
 		if withInstances {
-			resp.Entry = ans.Entry
+			sc.resp.Entry = ans.Entry
 		} else {
-			trimmed := *ans.Entry
-			trimmed.Instances = nil
-			resp.Entry = &trimmed
+			sc.trimmed = *ans.Entry
+			sc.trimmed.Instances = nil
+			sc.resp.Entry = &sc.trimmed
 		}
 	}
-	return resp
+	return &sc.resp
 }
+
 
 func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) int {
 	if !a.store.Ready() {
@@ -225,7 +250,9 @@ func (a *API) handleLookup(w http.ResponseWriter, r *http.Request) int {
 		return writeJSONStatus(w, http.StatusServiceUnavailable, errBody("no snapshot yet"))
 	}
 	ans := a.store.Lookup(ip)
-	return writeJSONStatus(w, http.StatusOK, lookupResponse(ans, r.URL.Query().Get("instances") != ""))
+	sc := lookupScratchPool.Get().(*lookupScratch)
+	defer lookupScratchPool.Put(sc)
+	return writeJSONStatus(w, http.StatusOK, sc.fill(ans, r.URL.Query().Get("instances") != ""))
 }
 
 // handleBatch classifies a JSON list of IPs: POST /v1/lookup/batch with
@@ -272,9 +299,18 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		return writeJSONStatus(w, http.StatusServiceUnavailable, errBody("no snapshot yet"))
 	}
 	answers := a.store.LookupBatch(ips)
+	// One response slice plus one trimmed-entry slice for the whole
+	// batch, instead of one heap Entry per anycast answer.
 	out := make([]LookupResponse, len(answers))
+	trimmed := make([]Entry, len(answers))
 	for i, ans := range answers {
-		out[i] = lookupResponse(ans, false)
+		out[i] = LookupResponse{IP: ans.IP.String(), Anycast: ans.Anycast, Version: ans.Version}
+		if ans.Entry != nil {
+			out[i].Prefix = ans.Entry.PrefixString()
+			trimmed[i] = *ans.Entry
+			trimmed[i].Instances = nil
+			out[i].Entry = &trimmed[i]
+		}
 	}
 	return writeJSONStatus(w, http.StatusOK, out)
 }
@@ -308,6 +344,47 @@ func (a *API) handleSnapshot(w http.ResponseWriter, _ *http.Request) int {
 		Replicas:      snap.TotalReplicas(),
 		Mapped:        snap.Mapped(),
 	})
+}
+
+// PrefixesResponse is the JSON shape of /v1/prefixes.
+type PrefixesResponse struct {
+	Version  uint64   `json:"snapshot_version"`
+	Total    int      `json:"total"`
+	Prefixes []string `json:"prefixes"`
+}
+
+// handlePrefixes lists indexed anycast /24s in prefix order: GET
+// /v1/prefixes?limit=N (default 100, capped at 10000). It walks the
+// prefix index directly — no entry ever decodes — so discovering a
+// served deployment (the route smoke test's first step) costs O(limit)
+// string renders even on a million-entry mapped snapshot.
+func (a *API) handlePrefixes(w http.ResponseWriter, r *http.Request) int {
+	limit := 100
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			return writeJSONStatus(w, http.StatusBadRequest, errBody("bad ?limit="))
+		}
+		limit = v
+	}
+	if limit > 10000 {
+		limit = 10000
+	}
+	snap := a.store.AcquirePinned()
+	defer snap.Unpin()
+	if snap == nil {
+		return writeJSONStatus(w, http.StatusServiceUnavailable, errBody("no snapshot yet"))
+	}
+	n := snap.Len()
+	resp := PrefixesResponse{Version: snap.Version(), Total: n}
+	if n > limit {
+		n = limit
+	}
+	resp.Prefixes = make([]string, n)
+	for i := 0; i < n; i++ {
+		resp.Prefixes[i] = snap.PrefixAt(i).String()
+	}
+	return writeJSONStatus(w, http.StatusOK, resp)
 }
 
 func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) int {

@@ -14,6 +14,7 @@ import (
 	"unsafe"
 
 	"anycastmap/internal/census"
+	"anycastmap/internal/geo"
 	"anycastmap/internal/netsim"
 )
 
@@ -176,8 +177,11 @@ func takeStr(p []byte, what string) (string, []byte, error) {
 }
 
 // decodeSnapEntry parses one entry blob into a fully heap-owned Entry.
+// Derived fields (the cached prefix string, instance unit vectors) are
+// recomputed here exactly as NewSnapshot computes them, so a decoded
+// entry is deep-equal to its heap-built twin.
 func decodeSnapEntry(p []byte, prefix netsim.Prefix24) (*Entry, error) {
-	e := &Entry{Prefix: prefix}
+	e := &Entry{Prefix: prefix, prefixStr: prefix.String()}
 	var v uint64
 	var err error
 	if v, p, err = takeUv(p, "entry ASN"); err != nil {
@@ -232,6 +236,7 @@ func decodeSnapEntry(p []byte, prefix netsim.Prefix24) (*Entry, error) {
 			in.Located = p[0]&1 != 0
 			in.Lat = math.Float64frombits(binary.LittleEndian.Uint64(p[1:]))
 			in.Lon = math.Float64frombits(binary.LittleEndian.Uint64(p[9:]))
+			in.vec = geo.UnitVec(geo.Coord{Lat: in.Lat, Lon: in.Lon})
 			p = p[17:]
 			if in.ViaVP, p, err = takeStr(p, "instance VP"); err != nil {
 				return nil, err

@@ -18,6 +18,7 @@ import (
 	"anycastmap/internal/analysis"
 	"anycastmap/internal/asdb"
 	"anycastmap/internal/census"
+	"anycastmap/internal/geo"
 	"anycastmap/internal/netsim"
 )
 
@@ -35,7 +36,16 @@ type Instance struct {
 	ViaVP string `json:"via_vp"`
 	// Located is false for enumerated-but-unplaced replicas.
 	Located bool `json:"located"`
+
+	// vec is the Earth-centered unit vector of (Lat, Lon), derived at
+	// construction/decode time (never serialized) so the routing
+	// engine's nearest-replica scan is one dot product per instance.
+	vec [3]float64
 }
+
+// UnitVec returns the precomputed unit vector of the instance's
+// coordinates (geo.UnitVec of Lat/Lon).
+func (in *Instance) UnitVec() [3]float64 { return in.vec }
 
 // Entry is one detected anycast /24 in a snapshot.
 type Entry struct {
@@ -49,6 +59,20 @@ type Entry struct {
 	Cities []string `json:"cities,omitempty"`
 	// Instances carries the individual geolocated replicas.
 	Instances []Instance `json:"instances,omitempty"`
+
+	// prefixStr caches Prefix.String(), derived at construction/decode
+	// time so hot response paths render the CIDR without allocating.
+	prefixStr string
+}
+
+// PrefixString returns the cached CIDR form of the entry's prefix. It
+// only allocates for entries built outside NewSnapshot/decodeSnapEntry
+// (struct literals in tests).
+func (e *Entry) PrefixString() string {
+	if e.prefixStr != "" {
+		return e.prefixStr
+	}
+	return e.Prefix.String()
 }
 
 // Snapshot is one immutable, versioned index over a census campaign's
@@ -107,10 +131,11 @@ func NewSnapshot(fs []analysis.Finding, reg *asdb.Registry, round uint64, rounds
 	ases := make(map[int]bool)
 	for _, f := range sorted {
 		e := Entry{
-			Prefix:   f.Prefix,
-			ASN:      f.ASN,
-			Replicas: f.Result.Count(),
-			Cities:   f.Result.Cities(),
+			Prefix:    f.Prefix,
+			prefixStr: f.Prefix.String(),
+			ASN:       f.ASN,
+			Replicas:  f.Result.Count(),
+			Cities:    f.Result.Cities(),
 		}
 		if reg != nil {
 			if as, ok := reg.ByASN(f.ASN); ok {
@@ -125,6 +150,7 @@ func NewSnapshot(fs []analysis.Finding, reg *asdb.Registry, round uint64, rounds
 			} else {
 				in.Lat, in.Lon = r.Disk.Center.Lat, r.Disk.Center.Lon
 			}
+			in.vec = geo.UnitVec(geo.Coord{Lat: in.Lat, Lon: in.Lon})
 			e.Instances = append(e.Instances, in)
 		}
 		if n := len(s.prefixes); n > 0 && s.prefixes[n-1] == f.Prefix {
@@ -182,6 +208,44 @@ func (s *Snapshot) entryAt(i int) *Entry {
 
 // Mapped reports whether the snapshot serves from a mapped file.
 func (s *Snapshot) Mapped() bool { return s.m != nil }
+
+// Pin takes a reader reference on a file-backed snapshot's mapping so
+// raw-memory access (LookupPrefix, a first entry decode) stays valid
+// against a concurrent Publish unmapping it. It reports false only when
+// the mapping is already dead — the snapshot was replaced and its last
+// reader finished — in which case the caller must reload the store's
+// current snapshot. Heap-built snapshots (and nil) pin trivially.
+// Unlike Store.Acquire, Pin/Unpin allocate nothing, so per-query hot
+// loops can pin without a release closure.
+func (s *Snapshot) Pin() bool {
+	if s == nil || s.m == nil {
+		return true
+	}
+	return s.m.acquire()
+}
+
+// Unpin releases a Pin. It is nil-safe and a no-op for heap-built
+// snapshots, so callers may defer it unconditionally.
+func (s *Snapshot) Unpin() {
+	if s != nil && s.m != nil {
+		s.m.release()
+	}
+}
+
+// MappingRefs returns the live reference count of a file-backed
+// snapshot's mapping (the owner reference counts as one until Close),
+// and 0 for heap-built snapshots. Tests use it to assert hot-swapped
+// mappings drain to zero.
+func (s *Snapshot) MappingRefs() int64 {
+	if s == nil || s.m == nil {
+		return 0
+	}
+	return s.m.refs.Load()
+}
+
+// PrefixAt returns the i-th indexed /24 in ascending prefix order. For
+// a file-backed snapshot the caller must hold a Pin.
+func (s *Snapshot) PrefixAt(i int) netsim.Prefix24 { return s.prefixes[i] }
 
 // DecodeErrors counts lazy entry decodes that failed (0 on a healthy
 // snapshot; non-zero only for a CRC-valid file with malformed entries).

@@ -80,6 +80,20 @@ func (s *Store) Acquire() (*Snapshot, func()) {
 	}
 }
 
+// AcquirePinned is Acquire without the release closure: the returned
+// snapshot is pinned (call Snapshot.Unpin when done; it is nil-safe).
+// Unlike Acquire it allocates nothing even for mapped snapshots, so it
+// is the acquire path for per-query hot loops — the routing front-end
+// and the store's own lookup miss path.
+func (s *Store) AcquirePinned() *Snapshot {
+	for {
+		snap := s.snap.Load()
+		if snap == nil || snap.Pin() {
+			return snap
+		}
+	}
+}
+
 // Ready reports whether a snapshot has been published.
 func (s *Store) Ready() bool { return s.snap.Load() != nil }
 
@@ -111,12 +125,12 @@ func (s *Store) Lookup(ip netsim.IP) Answer {
 	// Cache miss: the index walk touches raw snapshot memory, so pin the
 	// mapping for its duration. The answer itself is heap-owned (decoded
 	// entries never point into the mapping) and outlives the pin.
-	snap, release := s.Acquire()
+	snap = s.AcquirePinned()
 	if snap == nil {
 		return Answer{IP: ip}
 	}
 	e, ok := snap.Lookup(ip)
-	release()
+	snap.Unpin()
 	if !ok {
 		e = nil
 	}
@@ -130,8 +144,8 @@ func (s *Store) Lookup(ip netsim.IP) Answer {
 // traffic is cheaper than churning the cache.
 func (s *Store) LookupBatch(ips []netsim.IP) []Answer {
 	out := make([]Answer, len(ips))
-	snap, release := s.Acquire()
-	defer release()
+	snap := s.AcquirePinned()
+	defer snap.Unpin()
 	s.lookups.Add(uint64(len(ips)))
 	if snap == nil {
 		for i, ip := range ips {

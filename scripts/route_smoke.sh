@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# route_smoke.sh boots anycastd with the DNS/UDP routing front-end
+# enabled, discovers an anycast service prefix through GET /v1/prefixes,
+# fires 50k queries at the front-end with routeload, and asserts both
+# that the load was answered and that GET /metrics carries the
+# anycastmap_route_* series with matching counts. Wired into CI as
+# `make route-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+HTTP_ADDR=${HTTP_ADDR:-127.0.0.1:18092}
+DNS_ADDR=${DNS_ADDR:-127.0.0.1:15300}
+QUERIES=${QUERIES:-50000}
+BIN=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+"$GO" build -o "$BIN" ./cmd/anycastd ./cmd/routeload
+
+wait_http() { # url attempts
+    local url=$1 tries=${2:-150}
+    for _ in $(seq "$tries"); do
+        if curl -fsS "$url" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+    done
+    echo "FAIL: $url never became reachable" >&2
+    return 1
+}
+
+echo "== boot anycastd with the routing front-end =="
+"$BIN/anycastd" -addr "$HTTP_ADDR" -dns "$DNS_ADDR" -unicast24s 800 -vps 40 -censuses 1 \
+    -refresh 1h &
+pids+=($!)
+wait_http "http://$HTTP_ADDR/healthz"
+
+# Discover a served deployment: the front-end routes for any prefix the
+# snapshot classified anycast.
+service=$(curl -fsS "http://$HTTP_ADDR/v1/prefixes?limit=1" |
+    grep -o '[0-9][0-9.]*/24' | head -1 | cut -d/ -f1)
+if [ -z "$service" ]; then
+    echo "FAIL: /v1/prefixes returned no anycast prefix" >&2
+    exit 1
+fi
+echo "service prefix: $service/24"
+
+echo "== $QUERIES queries through the front-end =="
+"$BIN/routeload" -addr "$DNS_ADDR" -service "$service" -n "$QUERIES" -workers 2 \
+    -json >"$BIN/load.json"
+cat "$BIN/load.json"
+received=$(grep -o '"received": *[0-9]*' "$BIN/load.json" | grep -o '[0-9]*')
+if [ "$received" -lt $((QUERIES * 9 / 10)) ]; then
+    echo "FAIL: only $received of $QUERIES queries answered" >&2
+    exit 1
+fi
+
+# A TXT spot check: the decision description names a policy.
+"$BIN/routeload" -addr "$DNS_ADDR" -service "$service" -n 100 -workers 1 -txt >/dev/null
+
+echo "== anycastmap_route_* series =="
+scrape=$BIN/route.metrics
+curl -fsS "http://$HTTP_ADDR/metrics" -o "$scrape"
+for series in \
+    anycastmap_route_queries_total \
+    anycastmap_route_answers_total \
+    anycastmap_route_rcode_total \
+    anycastmap_route_answer_seconds; do
+    if ! grep -q "^$series" "$scrape"; then
+        echo "FAIL: /metrics is missing series $series" >&2
+        exit 1
+    fi
+done
+queries_total=$(grep '^anycastmap_route_queries_total' "$scrape" | grep -o '[0-9]*$')
+if [ "$queries_total" -lt "$QUERIES" ]; then
+    echo "FAIL: anycastmap_route_queries_total = $queries_total, want >= $QUERIES" >&2
+    exit 1
+fi
+echo "ok: front-end answered $received queries; route series exported ($queries_total counted)"
+
+echo "route smoke passed"
