@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify clean bench bench-smoke bench-json stream-smoke scale-smoke analyze-smoke cluster-smoke metrics-smoke route-smoke profile
+.PHONY: all build vet test race verify clean bench bench-smoke bench-json stream-smoke scale-smoke full-scale-smoke analyze-smoke cluster-smoke metrics-smoke route-smoke profile
 
 all: verify
 
@@ -34,18 +34,22 @@ bench-smoke:
 
 # bench-json regenerates the committed benchmark trajectory point,
 # including the route-serving block (answer-path qps, UDP loopback,
-# snapshot-swap flatness). The million-target paper-scale campaign is
-# off by default here; add -paper-unicast24s 1700000 to re-measure it.
+# snapshot-swap flatness) and the full-scale census: the paper's 6.6M
+# responsive /24s on one box, under a GOMEMLIMIT below the dense
+# all-rounds footprint. The full-scale block takes tens of minutes;
+# drop -full-scale-unicast24s (or set it to 0) for a quick point, or
+# add -paper-unicast24s 1700000 to also re-measure the ~1M-target
+# block.
 bench-json:
-	$(GO) run ./cmd/benchreport -exp none -benchjson BENCH_8.json \
-		-stream-unicast24s 0 -paper-unicast24s 0
+	$(GO) run ./cmd/benchreport -exp none -benchjson BENCH_9.json \
+		-stream-unicast24s 0 -paper-unicast24s 0 \
+		-full-scale-unicast24s 11000000
 
 # stream-smoke proves the streaming data path's memory bound: a 150k-/24
-# campaign (above netsim.DefaultUniBaseCacheCap, so the per-VP unicast
-# RTT memo is off) must complete under a GOMEMLIMIT set below the
-# ~380 MiB that holding all four rounds densely would cost. A regression
-# that reintroduces O(rounds) or O(unicast) residency thrashes the GC
-# or dies here instead of shipping.
+# campaign must complete under a GOMEMLIMIT set below the ~380 MiB that
+# holding all four rounds densely would cost. A regression that
+# reintroduces O(rounds) or O(unicast) residency thrashes the GC or dies
+# here instead of shipping.
 stream-smoke:
 	GOMEMLIMIT=360MiB $(GO) run ./cmd/census -unicast24s 150000
 
@@ -58,6 +62,17 @@ stream-smoke:
 scale-smoke:
 	GOMEMLIMIT=576MiB $(GO) run ./cmd/census -unicast24s 500000 -censuses 2 \
 		-pipelined -max-heap-mib 620
+
+# full-scale-smoke is the probe-rate regression gate at the largest scale
+# CI can afford: a 1.25M-/24 two-round pipelined campaign (~760k pruned
+# targets) under a GOMEMLIMIT below the two dense rounds it never holds,
+# where -rate-baseline-targets first measures a 20k-target pilot probing
+# run in the same process and the run fails unless the campaign's
+# aggregate probe rate stays within 2x of it. The pre-span probe path
+# collapsed 3.4x here once the target list outgrew its RTT memo.
+full-scale-smoke:
+	GOMEMLIMIT=1380MiB $(GO) run ./cmd/census -unicast24s 1250000 -censuses 2 \
+		-pipelined -max-heap-mib 1510 -rate-baseline-targets 20000 -rate-within 2
 
 # analyze-smoke proves the incremental analysis engine's bit-identity
 # contract on a live campaign: each round's dirty targets are analyzed

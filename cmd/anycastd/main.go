@@ -52,7 +52,7 @@ func main() {
 	vpsPer := flag.Int("vps", 261, "vantage points per census round")
 	agents := flag.Int("agents", 0, "run census rounds across this many in-process cluster agents (0 = in-process executor)")
 	pipelined := flag.Bool("pipelined", false, "shard-pipelined census rounds: fold probe spans as they land (bounded peak heap)")
-	spanTargets := flag.Int("span-targets", 0, "pipelined probe-span width in targets (0 = 65536)")
+	spanTargets := flag.Int("span-targets", 0, "pipelined probe-span width in targets (0 = 16384)")
 	snapFile := flag.String("snapshot-file", "", "persist snapshots here and serve them mmap-backed; an existing file boots the daemon ready before the first census")
 	seed := flag.Uint64("seed", 2015, "world seed")
 	rate := flag.Float64("rate", 1000, "probing rate per VP (probes/s)")

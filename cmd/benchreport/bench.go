@@ -60,7 +60,12 @@ type benchMetrics struct {
 	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
 	// GCCycles is the number of garbage collections that build triggered.
 	GCCycles uint32 `json:"gc_cycles,omitempty"`
-	Note     string `json:"note,omitempty"`
+	// CPUs records how many CPUs the machine that measured this point had.
+	// Zero means unknown (baselines predating the field). The campaign
+	// fans out across cores, so wall-clock points are only comparable
+	// between entries whose CPUs match.
+	CPUs int    `json:"cpus,omitempty"`
+	Note string `json:"note,omitempty"`
 }
 
 // streamBench is the streaming-scale headline: one campaign far beyond the
@@ -119,6 +124,14 @@ type paperScaleBench struct {
 	// MappedLookupsPerS is the serving throughput over its mmap reopen.
 	SnapshotFileBytes int64   `json:"snapshot_file_bytes"`
 	MappedLookupsPerS float64 `json:"mapped_lookups_per_s"`
+	// SmallCampaignProbesPerS is the same report's small-campaign probing
+	// rate (the current probes_per_s), and RateVsSmallCampaign divides it
+	// by this block's ProbesPerS: the per-probe slowdown at scale. The
+	// span-resident probe path keeps it within 1.5x — both regimes now run
+	// the same cold per-span resolve instead of a memo that only the small
+	// campaign could afford.
+	SmallCampaignProbesPerS float64 `json:"small_campaign_probes_per_s,omitempty"`
+	RateVsSmallCampaign     float64 `json:"rate_vs_small_campaign,omitempty"`
 }
 
 // codecBench compares the v2 columnar run format against the legacy
@@ -252,8 +265,12 @@ type benchReport struct {
 	Current  benchMetrics `json:"current"`
 	// SpeedupFullCampaign is baseline/current for the FullCampaign time —
 	// the regression gate: the streaming data path must not slow the
-	// campaign down.
-	SpeedupFullCampaign float64 `json:"speedup_full_campaign"`
+	// campaign down. It is only emitted when the baseline was measured on
+	// a machine with the same CPU count; otherwise the ratio is a machine
+	// artifact (BENCH_7/8 reported 0.64x/0.48x purely from comparing a
+	// multi-core baseline against a 1-CPU box) and a baseline_cpu_mismatch
+	// note replaces it.
+	SpeedupFullCampaign float64 `json:"speedup_full_campaign,omitempty"`
 
 	// Notes carries measurement caveats that numbers alone would hide.
 	Notes []string `json:"notes,omitempty"`
@@ -264,6 +281,10 @@ type benchReport struct {
 	// PaperScale is the million-target pipelined campaign (absent when
 	// disabled with -paper-unicast24s=0).
 	PaperScale *paperScaleBench `json:"paper_scale_campaign,omitempty"`
+	// FullScale is the full paper-scale census: the 6.6M responsive /24s
+	// of the paper's Sec. 3 censuses on one box (absent when disabled with
+	// -full-scale-unicast24s=0).
+	FullScale *paperScaleBench `json:"full_scale_campaign,omitempty"`
 	// Codec compares v2 columnar run persistence against legacy gob+flate.
 	Codec *codecBench `json:"run_codec,omitempty"`
 	// AnalyzeAll compares static-chunk vs work-stealing analysis
@@ -281,9 +302,9 @@ type benchReport struct {
 
 // seedBaseline holds the pre-streaming numbers: the BENCH_3 "current"
 // column, measured by cmd/benchreport -benchjson at commit 3751575 on the
-// machine that produced the committed BENCH_3.json. It seeds the baseline
-// the first time the file is written; after that the file's own baseline is
-// preserved across re-runs.
+// machine that produced the committed BENCH_3.json (CPU count unrecorded,
+// hence no cpus field). It seeds the baseline the first time the file is
+// written; after that the file's own baseline is preserved across re-runs.
 var seedBaseline = benchMetrics{
 	FullCampaignNs: 1_871_134_144,
 	ProbesPerS:     8.66e6,
@@ -307,7 +328,7 @@ func benchName(path string) string {
 // it next to the baseline. lab, labElapsed and labHeap come from the
 // experiment run the caller already paid for; streamUnicast sizes the
 // bounded-memory streaming headline (0 skips it).
-func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration, labPeakHeap uint64, labGC uint32, streamUnicast, paperUnicast int) error {
+func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration, labPeakHeap uint64, labGC uint32, streamUnicast, paperUnicast, fullScaleUnicast int) error {
 	rep := benchReport{
 		Bench:      benchName(path),
 		Go:         runtime.Version(),
@@ -336,6 +357,7 @@ func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration,
 	rep.Current.CampaignWallclockS = labElapsed.Seconds()
 	rep.Current.PeakHeapBytes = labPeakHeap
 	rep.Current.GCCycles = labGC
+	rep.Current.CPUs = runtime.NumCPU()
 
 	fmt.Printf("bench: probing loop ... ")
 	rep.Current.ProbesPerS, rep.Current.AllocsPerProbe = measureProbing(lab)
@@ -345,8 +367,18 @@ func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration,
 	rep.Current.LookupsPerS = measureLookups(lab)
 	fmt.Printf("%.0f lookups/s\n", rep.Current.LookupsPerS)
 
-	if rep.Current.FullCampaignNs > 0 {
+	// The cross-commit ratio is only meaningful machine-to-same-machine:
+	// the campaign fans out across cores, so a multi-core baseline against
+	// a 1-CPU current (or vice versa) measures the hardware, not the code.
+	switch {
+	case rep.Current.FullCampaignNs <= 0:
+	case rep.Baseline.CPUs == rep.Current.CPUs:
 		rep.SpeedupFullCampaign = rep.Baseline.FullCampaignNs / rep.Current.FullCampaignNs
+	default:
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"baseline_cpu_mismatch: baseline measured on a %s machine, this report on a %d-CPU one; "+
+				"speedup_full_campaign is omitted — compare full_campaign_ns_op across reports only when "+
+				"their cpus fields match", cpusLabel(rep.Baseline.CPUs), rep.Current.CPUs))
 	}
 
 	fmt.Printf("bench: run codec (v2 vs gob+flate) ... ")
@@ -416,11 +448,23 @@ func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration,
 		}
 	}
 
-	rep.Notes = append(rep.Notes,
-		fmt.Sprintf("speedup_full_campaign compares against a baseline captured on a different machine: "+
-			"the BENCH_3 baseline ran on a multi-core box, this report's numbers on a %d-CPU one, so the "+
-			"parallel campaign loses its fan-out there; compare full_campaign_ns_op across reports only "+
-			"when their cpus fields match", runtime.NumCPU()))
+	if fullScaleUnicast > 0 {
+		fmt.Printf("bench: full-scale census at %d unicast /24s (the paper's 6.6M responsive /24s) ... ", fullScaleUnicast)
+		rep.FullScale = measurePaperScaleCampaign(fullScaleUnicast, lab.Config.Seed)
+		if rep.FullScale != nil {
+			rep.FullScale.SmallCampaignProbesPerS = rep.Current.ProbesPerS
+			if rep.FullScale.ProbesPerS > 0 {
+				rep.FullScale.RateVsSmallCampaign = rep.Current.ProbesPerS / rep.FullScale.ProbesPerS
+			}
+			fmt.Printf("%d targets in %.0fs, %.2fM probes/s (%.2fx the small-campaign rate), peak heap %.0f MiB (%.0f B/target, bounded=%v)\n",
+				rep.FullScale.Targets, rep.FullScale.WallclockS, rep.FullScale.ProbesPerS/1e6,
+				rep.FullScale.RateVsSmallCampaign,
+				float64(rep.FullScale.PeakHeapBytes)/(1<<20), rep.FullScale.PeakHeapPerTarget,
+				rep.FullScale.PeakHeapBounded)
+		} else {
+			fmt.Printf("failed\n")
+		}
+	}
 
 	rep.Current.Note = "measured live by cmd/benchreport -benchjson"
 
@@ -432,8 +476,21 @@ func writeBenchJSON(path string, lab *experiments.Lab, labElapsed time.Duration,
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench: %s written (full campaign %.2fx vs baseline)\n\n", path, rep.SpeedupFullCampaign)
+	if rep.SpeedupFullCampaign > 0 {
+		fmt.Printf("bench: %s written (full campaign %.2fx vs baseline)\n\n", path, rep.SpeedupFullCampaign)
+	} else {
+		fmt.Printf("bench: %s written (no speedup ratio: baseline cpus differ)\n\n", path)
+	}
 	return nil
+}
+
+// cpusLabel renders a baseline CPU count for the mismatch note; baselines
+// predating the cpus field read as unknown.
+func cpusLabel(cpus int) string {
+	if cpus == 0 {
+		return "multi-core (cpu count unrecorded)"
+	}
+	return fmt.Sprintf("%d-CPU", cpus)
 }
 
 // measureFullCampaign times one complete campaign at exactly the
@@ -674,7 +731,13 @@ func measurePaperScaleCampaign(unicast int, seed uint64) *paperScaleBench {
 		vpsPerRound = append(vpsPerRound, n)
 		dense += uint64(n) * uint64(targets.Len()) * 4
 	}
-	limit := int64(dense - dense/10)
+	// GOMEMLIMIT at 75% of the dense all-rounds footprint. The GC fills
+	// whatever limit it is given, so the sampled peak tracks the limit,
+	// not the live set: at 90% the peak-per-target landed within a
+	// fraction of a percent of the dense bound. 75% leaves real headroom
+	// over the live set (the combined slab is ~half of dense) while
+	// keeping the peak well under what the batch path would hold.
+	limit := int64(dense - dense/4)
 	if limit < 1<<30 {
 		limit = 1 << 30
 	}

@@ -35,6 +35,7 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "measure the benchmark trajectory and write it to this JSON file")
 	streamUnicast := flag.Int("stream-unicast24s", 250_000, "unicast /24 scale of the -benchjson streaming-campaign headline (0 skips it)")
 	paperUnicast := flag.Int("paper-unicast24s", 0, "unicast /24 scale of the -benchjson paper-scale pipelined campaign (0 skips it; 1,700,000 prunes to ~1M targets)")
+	fullScaleUnicast := flag.Int("full-scale-unicast24s", 0, "unicast /24 scale of the -benchjson full-scale census (0 skips it; 11,000,000 prunes to the paper's ~6.6M responsive targets)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -84,7 +85,7 @@ func main() {
 		labElapsed.Round(time.Millisecond), lab.Hitlist.Len(), len(lab.Findings), len(lab.World.Deployments()))
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, lab, labElapsed, labPeakHeap, labGC, *streamUnicast, *paperUnicast); err != nil {
+		if err := writeBenchJSON(*benchJSON, lab, labElapsed, labPeakHeap, labGC, *streamUnicast, *paperUnicast, *fullScaleUnicast); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}

@@ -47,8 +47,10 @@ func main() {
 	top := flag.Int("top", 15, "print the top-N anycast ASes")
 	stream := flag.Bool("stream", true, "fold each census into the combined matrix as it completes (peak memory stays O(one run + combined)); -stream=false retains every round and batch-combines at the end")
 	pipelined := flag.Bool("pipelined", false, "shard-pipelined rounds: probe spans fold into the combined matrix as they land, so peak memory holds in-flight spans instead of a whole round of rows")
-	spanTargets := flag.Int("span-targets", 0, "pipelined probe-span width in targets (0 = 65536)")
+	spanTargets := flag.Int("span-targets", 0, "pipelined probe-span width in targets (0 = 16384)")
 	maxHeapMiB := flag.Int("max-heap-mib", 0, "sample HeapAlloc through the run and fail if the peak exceeds this many MiB (0 = no assertion)")
+	rateBaselineTargets := flag.Int("rate-baseline-targets", 0, "measure a single-VP pilot probing run over the first N pruned targets and fail unless the campaign's aggregate probe rate stays within -rate-within of it (0 = no assertion)")
+	rateWithin := flag.Float64("rate-within", 2.0, "largest pilot/campaign probes-per-second ratio -rate-baseline-targets tolerates")
 	shardTargets := flag.Int("shard-targets", 0, "fold work-unit width in targets (0 = auto)")
 	foldWorkers := flag.Int("fold-workers", 0, "goroutines folding a finished round (0 = GOMAXPROCS)")
 	incremental := flag.Bool("incremental", true, "analyze each round's dirty targets while the next round probes (needs -stream); -incremental=false analyzes once at the end")
@@ -170,6 +172,35 @@ func main() {
 		MaxAttempts: *retries, RetryBackoff: *retryBackoff}
 	log.Printf("probing with %d concurrent vantage points", ccfg.EffectiveWorkers())
 
+	// The pilot run pins the small-campaign probe rate in this very
+	// process: a single-VP probing loop over a prefix of the pruned list,
+	// one warm-up pass (session build, greylist freeze) and one measured
+	// pass. The campaign's aggregate rate is checked against it at the
+	// end — the regression gate for the per-probe collapse that large
+	// target lists used to pay once they outgrew the unicast RTT memo.
+	var pilotRate float64
+	if *rateBaselineTargets > 0 {
+		pt := targets.Targets()
+		if len(pt) > *rateBaselineTargets {
+			pt = pt[:*rateBaselineTargets]
+		}
+		pcfg := prober.Config{Seed: *seed, Round: 1, Rate: *rate}
+		pilotVP := pl.VPs()[0]
+		sink := func(record.Sample) {}
+		if _, _, err := prober.Run(world, pilotVP, pt, black, pcfg, sink); err != nil {
+			log.Fatalf("pilot probing run: %v", err)
+		}
+		t0 := time.Now()
+		st, _, err := prober.Run(world, pilotVP, pt, black, pcfg, sink)
+		if err != nil {
+			log.Fatalf("pilot probing run: %v", err)
+		}
+		pilotRate = float64(st.Sent) / time.Since(t0).Seconds()
+		log.Printf("pilot probing rate: %.2fM probes/s over %d targets", pilotRate/1e6, len(pt))
+	}
+	var campaignProbes int64
+	var campaignWall time.Duration
+
 	// With -save, every finished round is persisted (v2 columnar format)
 	// before the streaming fold releases its matrix.
 	saved := 0
@@ -216,6 +247,8 @@ func main() {
 		log.Printf("census %d: %d VPs, %d probes, %d echo targets, %d greylisted (%v)",
 			sum.Round, sum.VPs, sum.Probes, sum.EchoTargets, sum.GreylistLen,
 			sum.Duration.Round(time.Millisecond))
+		campaignProbes += int64(sum.Probes)
+		campaignWall += sum.Duration
 		if sum.Health.Retries > 0 || sum.Health.Degraded() {
 			log.Printf("census %d health: %s", sum.Round, sum.Health)
 		}
@@ -377,6 +410,16 @@ func main() {
 			break
 		}
 		fmt.Printf("%-24s %9.1f %7d\n", st.AS.Name, st.MeanReplicas, st.IP24s)
+	}
+	if *rateBaselineTargets > 0 && campaignWall > 0 {
+		campaignRate := float64(campaignProbes) / campaignWall.Seconds()
+		ratio := pilotRate / campaignRate
+		log.Printf("campaign probing rate: %.2fM probes/s aggregate, %.2fx slower than the pilot (limit %.2fx)",
+			campaignRate/1e6, ratio, *rateWithin)
+		if ratio > *rateWithin {
+			log.Fatalf("probe-rate collapse: campaign rate %.0f probes/s is %.2fx below the %d-target pilot (%.0f probes/s), limit %.2fx",
+				campaignRate, ratio, *rateBaselineTargets, pilotRate, *rateWithin)
+		}
 	}
 	if *maxHeapMiB > 0 {
 		peak := peakHeap.Load()

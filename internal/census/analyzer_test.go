@@ -164,6 +164,63 @@ func TestAnalyzerNewVPAppends(t *testing.T) {
 	assertIncrementalMatchesBatch(t, cp, 3)
 }
 
+// TestAnalyzerSingleWorkerStaticPath pins the workers==1 fallback: one
+// effective worker takes the static-chunk path (no work-stealing cursor),
+// and its outcomes and engine counters are indistinguishable from the
+// multi-worker pool's — across dirty-set sizes from a single target up to
+// the full list, the shapes where a chunking bug would double-analyze or
+// skip work.
+func TestAnalyzerSingleWorkerStaticPath(t *testing.T) {
+	vps := platform.PlanetLab(cities.Default()).VPs()[:10]
+	const nT = 257 // a prime, so no chunk width divides it evenly
+	rtt := func(v, t int) int32 {
+		if t%5 == 0 && (v == t%3 || v == 9-t%4) {
+			return 800 + int32(t)
+		}
+		return 25_000 + int32(v*131+t)*7
+	}
+
+	run := func(workers int, dirtySizes []int) (*Analyzer, []Outcome) {
+		cp := NewCampaign(CampaignConfig{})
+		an := NewAnalyzer(cities.Default(), AnalyzerConfig{Workers: workers})
+		cp.AttachAnalyzer(an)
+		if err := cp.FoldRun(handRun(1, vps, nT, rtt)); err != nil {
+			t.Fatal(err)
+		}
+		an.Update(cp.Combined(), cp.TakeDirty())
+		// Re-analyze hand-picked dirty sets of awkward sizes through the
+		// same engine; results must stay self-consistent.
+		for _, sz := range dirtySizes {
+			dirty := make([]int, sz)
+			for i := range dirty {
+				dirty[i] = (i * 37) % nT
+			}
+			an.Update(cp.Combined(), dirty)
+		}
+		return an, an.Outcomes()
+	}
+
+	sizes := []int{1, 2, nT / 2, nT}
+	anSeq, seq := run(1, sizes)
+	anPool, pool := run(4, sizes)
+	if !reflect.DeepEqual(seq, pool) {
+		t.Fatalf("workers=1 static path outcomes diverge from workers=4 pool:\n got %d outcomes\nwant %d outcomes", len(seq), len(pool))
+	}
+	if anSeq.Stats().Analyzed != anPool.Stats().Analyzed {
+		t.Fatalf("analyzed counters diverge: workers=1 %d, workers=4 %d",
+			anSeq.Stats().Analyzed, anPool.Stats().Analyzed)
+	}
+	if !reflect.DeepEqual(seq, AnalyzeAll(cities.Default(), func() *Combined {
+		cp := NewCampaign(CampaignConfig{})
+		if err := cp.FoldRun(handRun(1, vps, nT, rtt)); err != nil {
+			t.Fatal(err)
+		}
+		return cp.Combined()
+	}(), core.Options{}, 2, 1)) {
+		t.Fatal("workers=1 outcomes diverge from single-worker batch AnalyzeAll")
+	}
+}
+
 // TestExecuteRoundsOverlapped runs a real probing campaign through the
 // overlapped probe/analyze pipeline and checks it is indistinguishable
 // from the sequential fold-then-analyze path.

@@ -204,6 +204,13 @@ func TestCensusDeterminism(t *testing.T) {
 		{"pipelined_span17", digestConfig{workers: 3, pipelined: true, spanTargets: 17}},
 		{"pipelined_heaprows", digestConfig{workers: 2, pipelined: true, spanTargets: 128, heapRows: true}},
 		{"pipelined_incremental", digestConfig{workers: 4, pipelined: true, spanTargets: 64, incremental: true}},
+		// Span-session bit-identity: the span-resident probe path (cache
+		// on) against the uncached reference (cache off, where the span
+		// resolver delegates every probe), across span widths from a
+		// single target to one span per round and both worker counts.
+		{"pipelined_span1_workers1", digestConfig{workers: 1, pipelined: true, spanTargets: 1}},
+		{"pipelined_nocache_span17", digestConfig{disableCache: true, workers: 4, pipelined: true, spanTargets: 17}},
+		{"pipelined_nocache_workers1_spanhuge", digestConfig{disableCache: true, workers: 1, pipelined: true, spanTargets: 1 << 20}},
 	} {
 		got := campaignDigest(t, tc.dc)
 		if !bytes.Equal(ref, got) {

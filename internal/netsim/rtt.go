@@ -109,7 +109,7 @@ func (w *World) probeICMP(s *vpSession, vp platform.VP, target IP, round uint64)
 	if detrand.UnitFloat(w.cfg.Seed, uint64(vp.ID), uint64(target), round, 0xC0FF) < 0.025 {
 		return Reply{Kind: ReplyTimeout}
 	}
-	rtt := w.unicastRTT(s, vp, -(i + 1), h, target, round)
+	rtt := w.unicastRTT(s, vp, h, target, round)
 	switch h.class {
 	case classAdminFiltered:
 		return Reply{Kind: ReplyAdminFiltered, RTT: rtt}
@@ -136,7 +136,7 @@ func (w *World) anycastRTT(s *vpSession, vp platform.VP, d *Deployment, target I
 // prefixes bypass the cache: their effective endpoint depends on a live
 // per-VP catchment draw (0x41AC), and hijacks are injected after sessions
 // may already be warm.
-func (w *World) unicastRTT(s *vpSession, vp platform.VP, uidx int32, h *unicastHost, target IP, round uint64) time.Duration {
+func (w *World) unicastRTT(s *vpSession, vp platform.VP, h *unicastHost, target IP, round uint64) time.Duration {
 	p := target.Prefix()
 	if s == nil {
 		return w.pathRTT(vp, uint64(p), w.hijackedLoc(vp, p, h.loc), 0, target, round)
@@ -146,7 +146,7 @@ func (w *World) unicastRTT(s *vpSession, vp platform.VP, uidx int32, h *unicastH
 			return w.pathRTT(vp, uint64(p), w.hijackedLoc(vp, p, h.loc), 0, target, round)
 		}
 	}
-	return w.rttFromBaseMs(w.unicastBaseMs(s, vp, uidx, h, p), vp, target, round)
+	return w.rttFromBaseMs(w.unicastBaseMs(s, vp, h, p), vp, target, round)
 }
 
 // ProbeTCP attempts a TCP SYN/SYN-ACK handshake to the given port
@@ -206,7 +206,7 @@ func (w *World) probeTCP(s *vpSession, vp platform.VP, target IP, port uint16, r
 		return Reply{Kind: ReplyTimeout}
 	}
 	if s != nil {
-		return Reply{Kind: ReplyEcho, RTT: w.rttFromBaseMs(w.unicastBaseMs(s, vp, -(i+1), h, target.Prefix()), vp, target, round)}
+		return Reply{Kind: ReplyEcho, RTT: w.rttFromBaseMs(w.unicastBaseMs(s, vp, h, target.Prefix()), vp, target, round)}
 	}
 	return Reply{Kind: ReplyEcho, RTT: w.pathRTT(vp, uint64(target.Prefix()), h.loc, 0, target, round)}
 }

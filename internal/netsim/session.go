@@ -3,7 +3,6 @@ package netsim
 import (
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"anycastmap/internal/detrand"
 	"anycastmap/internal/geo"
@@ -18,6 +17,9 @@ import (
 // (0xB71). Only the per-round draws - loss, catchment flap, queueing
 // jitter - actually vary probe to probe. The session caches the stable
 // part per vantage point and leaves the per-round draws in the inner loop.
+// Per-unicast-/24 state (the RTT base) is NOT cached per vantage point -
+// at the paper's 10.6M /24s and ~300 VPs that would be tens of gigabytes -
+// but per (VP, span) work unit: see ProbeSpanSession.
 //
 // Determinism is the contract: every cached value is the output of the
 // exact detrand/geo expression the uncached code evaluates, so replies are
@@ -45,19 +47,14 @@ type candSet struct {
 	u      float64    // stable base-selection draw (0xB69)
 }
 
-// vpSession holds everything probe-invariant about one vantage point.
+// vpSession holds everything probe-invariant about one vantage point. It
+// deliberately carries no per-unicast-/24 state: unicast RTT bases are
+// resolved per (VP, span) by ProbeSpanSession, so session memory stays
+// O(deployments) per vantage point at any world size.
 type vpSession struct {
 	once     sync.Once
 	vpAccess float64   // hoisted per-VP access term (0xB71)
 	cands    []candSet // indexed by Deployment.idx
-	// uniBase memoizes the unicast RTT base per unicast index as
-	// math.Float64bits, filled lazily on first probe; 0 means unset (a
-	// real base is always > 0.3 ms). Writes are idempotent - every
-	// writer stores the same bits - so racing probes need only atomicity.
-	// nil when the world exceeds Config.UniBaseCacheCap: bases are then
-	// recomputed per probe so session memory stays O(deployments), not
-	// O(unicast /24s), per vantage point.
-	uniBase []uint64
 }
 
 // sessionTable maps sessionKey -> *vpSession. It lives behind a pointer on
@@ -92,9 +89,6 @@ func (w *World) session(vp platform.VP) *vpSession {
 func (w *World) buildSession(s *vpSession, vp platform.VP) {
 	s.vpAccess = w.vpAccessMs(vp)
 	s.cands = make([]candSet, len(w.deployments))
-	if len(w.unicast) <= w.cfg.uniBaseCacheCap() {
-		s.uniBase = make([]uint64, len(w.unicast))
-	}
 
 	asDist := make(map[int][]float64, len(w.anycastByASN))
 	for di, d := range w.deployments {
@@ -162,20 +156,11 @@ func (w *World) servingRank(c *candSet, vp platform.VP, d *Deployment, round uin
 	}
 }
 
-// unicastBaseMs returns the memoized RTT base toward the unicast host's
-// home location, computing and publishing it on first use. Above the
-// UniBaseCacheCap there is no memo and every call recomputes — the exact
-// same expression, so replies stay bit-identical either way.
-func (w *World) unicastBaseMs(s *vpSession, vp platform.VP, uidx int32, h *unicastHost, p Prefix24) float64 {
-	if s.uniBase == nil {
-		return w.rttBaseMsDist(vp, uint64(p), geo.DistanceKm(vp.Loc, h.loc), 0, s.vpAccess)
-	}
-	if bits := atomic.LoadUint64(&s.uniBase[uidx]); bits != 0 {
-		return math.Float64frombits(bits)
-	}
-	base := w.rttBaseMsDist(vp, uint64(p), geo.DistanceKm(vp.Loc, h.loc), 0, s.vpAccess)
-	atomic.StoreUint64(&s.uniBase[uidx], math.Float64bits(base))
-	return base
+// unicastBaseMs is the RTT base toward the unicast host's home location:
+// the single expression every path — ad-hoc probes, TCP probes and the
+// span resolver — evaluates, so replies stay bit-identical across them.
+func (w *World) unicastBaseMs(s *vpSession, vp platform.VP, h *unicastHost, p Prefix24) float64 {
+	return w.rttBaseMsDist(vp, uint64(p), geo.DistanceKm(vp.Loc, h.loc), 0, s.vpAccess)
 }
 
 // Probe is a vantage-point-bound probing handle: it resolves the VP's
@@ -206,4 +191,178 @@ func (p Probe) TCP(target IP, port uint16, round uint64) Reply {
 // DNSUDP is ProbeDNSUDP through the bound session.
 func (p Probe) DNSUDP(target IP, round uint64) Reply {
 	return p.w.probeDNSUDP(p.s, p.vp, target, round)
+}
+
+// Span classification codes. Everything a probe's outcome depends on that
+// is NOT a per-round draw is a stable property of the (VP, target) pair,
+// so a span resolver can decide it once per work unit and leave only the
+// fault check, the loss draw and the RTT jitter in the inner loop.
+const (
+	// spanTimeout marks targets that time out structurally in every
+	// round: unallocated prefixes, dead anycast host addresses, unicast
+	// non-representatives and silent hosts. probeICMP returns before any
+	// per-round draw for all of them, so no draw is skipped unsafely.
+	spanTimeout uint8 = iota
+	// spanAnycast targets answer from a deployment; payload holds the
+	// deployments index.
+	spanAnycast
+	// spanUniEcho..spanUniNet are unicast hosts that answer with the
+	// corresponding reply kind; payload holds the RTT base as
+	// math.Float64bits.
+	spanUniEcho
+	spanUniAdmin
+	spanUniHost
+	spanUniNet
+	// spanSlow delegates to the full probeICMP path: hijacked prefixes,
+	// whose effective endpoint depends on a live per-VP catchment draw.
+	spanSlow
+)
+
+// SpanSession is a (vantage point, target span) probing unit: two flat,
+// pointer-free slabs — a classification byte and a 64-bit payload per
+// target — resolved once per work unit. The per-probe path then touches
+// only the slabs and the per-round draws: no map lookups, no sync.Map,
+// no allocation, and a working set of ~9 bytes per span target instead of
+// the whole world's prefix index. That keeps the probe rate flat from
+// 20k-target test runs to full 6.6M-target censuses, where the global
+// per-probe map walk used to cost a DRAM miss per probe.
+type SpanSession struct {
+	w       *World
+	vp      platform.VP
+	s       *vpSession
+	targets []IP
+	cls     []uint8
+	payload []uint64
+	// slow forces every probe down the uncached reference path
+	// (Config.DisableProbeCache): the span resolver is part of the cache
+	// and must vanish with it.
+	slow bool
+}
+
+// ProbeSpanSession resolves a probing session covering exactly the given
+// target span (callers working in [lo, hi) units pass targets[lo:hi]).
+// Resolution is O(span): census spans are ascending in address order, so
+// the resolver walks the sorted unicast prefix index with a cursor and
+// falls back to one binary search per order break and one map lookup per
+// non-unicast target (~0.03% of a census span). Replies through the span
+// are bit-identical to ProbeICMP's — the determinism tests compare the
+// two — because every cached value is the output of the exact expression
+// the reference path evaluates.
+func (w *World) ProbeSpanSession(vp platform.VP, targets []IP) SpanSession {
+	s := w.session(vp)
+	ss := SpanSession{w: w, vp: vp, s: s, targets: targets}
+	if s == nil {
+		ss.slow = true
+		return ss
+	}
+	ss.cls = make([]uint8, len(targets))
+	ss.payload = make([]uint64, len(targets))
+	hijacksLive := len(w.hijacks) > 0
+	nUni := len(w.unicastPrefix)
+	cursor := -1
+	prev := Prefix24(0)
+	for i, target := range targets {
+		p := target.Prefix()
+		// Reposition on the first target and on any order break (a span
+		// of census targets breaks order never; ad-hoc spans may).
+		if cursor < 0 || p <= prev {
+			lo, hi := 0, nUni
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if w.unicastPrefix[mid] < p {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			cursor = lo
+		} else {
+			for cursor < nUni && w.unicastPrefix[cursor] < p {
+				cursor++
+			}
+		}
+		prev = p
+		if cursor < nUni && w.unicastPrefix[cursor] == p {
+			h := &w.unicast[cursor]
+			switch {
+			case target != h.rep || h.class == classSilent:
+				ss.cls[i] = spanTimeout
+			case hijacksLive && w.isHijacked(p):
+				ss.cls[i] = spanSlow
+			default:
+				switch h.class {
+				case classAdminFiltered:
+					ss.cls[i] = spanUniAdmin
+				case classHostProhibited:
+					ss.cls[i] = spanUniHost
+				case classNetProhibited:
+					ss.cls[i] = spanUniNet
+				default:
+					ss.cls[i] = spanUniEcho
+				}
+				ss.payload[i] = math.Float64bits(w.unicastBaseMs(s, vp, h, p))
+			}
+			continue
+		}
+		di, ok := w.byPrefix[p]
+		if !ok {
+			ss.cls[i] = spanTimeout
+			continue
+		}
+		d := w.deployments[di]
+		if target != d.rep && detrand.UnitFloat(w.cfg.Seed, uint64(target), 0xA11E) >= d.Density {
+			ss.cls[i] = spanTimeout
+			continue
+		}
+		ss.cls[i] = spanAnycast
+		ss.payload[i] = uint64(di)
+	}
+	return ss
+}
+
+// isHijacked reports whether a live hijack covers the prefix.
+func (w *World) isHijacked(p Prefix24) bool {
+	_, ok := w.hijacks[p]
+	return ok
+}
+
+// ICMP probes the i-th span target in the given round. The fast path
+// reads the two slab cells and pays only the per-round draws: target
+// fault check, transient loss, catchment flap (anycast) and queueing
+// jitter.
+func (ss *SpanSession) ICMP(i int, round uint64) Reply {
+	target := ss.targets[i]
+	if ss.slow {
+		return ss.w.probeICMP(ss.s, ss.vp, target, round)
+	}
+	cls := ss.cls[i]
+	if cls == spanTimeout {
+		return Reply{Kind: ReplyTimeout}
+	}
+	if cls == spanSlow {
+		return ss.w.probeICMP(ss.s, ss.vp, target, round)
+	}
+	w := ss.w
+	p := target.Prefix()
+	if w.faults.TargetUnreachable(p, round) {
+		return Reply{Kind: ReplyTimeout}
+	}
+	if detrand.UnitFloat(w.cfg.Seed, uint64(ss.vp.ID), uint64(target), round, 0xC0FF) < 0.025 {
+		return Reply{Kind: ReplyTimeout}
+	}
+	if cls == spanAnycast {
+		d := w.deployments[ss.payload[i]]
+		c := &ss.s.cands[d.idx]
+		return Reply{Kind: ReplyEcho, RTT: w.rttFromBaseMs(c.baseMs[w.servingRank(c, ss.vp, d, round)], ss.vp, target, round)}
+	}
+	rtt := w.rttFromBaseMs(math.Float64frombits(ss.payload[i]), ss.vp, target, round)
+	switch cls {
+	case spanUniAdmin:
+		return Reply{Kind: ReplyAdminFiltered, RTT: rtt}
+	case spanUniHost:
+		return Reply{Kind: ReplyHostProhibited, RTT: rtt}
+	case spanUniNet:
+		return Reply{Kind: ReplyNetProhibited, RTT: rtt}
+	}
+	return Reply{Kind: ReplyEcho, RTT: rtt}
 }

@@ -151,34 +151,114 @@ func TestSessionSharedAcrossFaultViews(t *testing.T) {
 	}
 }
 
-// TestUniBaseCapBitIdentical pins the bounded-memory contract: a world
-// whose unicast base memo is capped out recomputes every base, yet every
-// reply stays bit-identical to the fully-memoized world's.
-func TestUniBaseCapBitIdentical(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.Unicast24s = 600
-	full := New(cfg)
-	cfg.UniBaseCacheCap = -1 // memo off at any size
-	capped := New(cfg)
+// TestSpanSessionBitIdentical pins the span-resident hot path: a span
+// session resolved over any window of the target list — every width, any
+// alignment — answers bit-identically to the uncached reference path, for
+// every reply kind the world produces (echo, the three greylistable
+// errors, structural timeouts, anycast and unicast alike).
+func TestSpanSessionBitIdentical(t *testing.T) {
+	cached, uncached := sessionTestWorlds(t)
 	vps := sessionTestVPs()
 
 	var targets []IP
-	full.Prefixes(func(p Prefix24) {
-		if ip, _ := full.Representative(p); ip != 0 {
+	cached.Prefixes(func(p Prefix24) {
+		if ip, _ := cached.Representative(p); ip != 0 {
 			targets = append(targets, ip)
 		}
 	})
 
-	for _, vp := range vps[:6] {
-		fp, cp := full.ProbeSession(vp), capped.ProbeSession(vp)
-		for _, target := range targets {
-			for round := uint64(1); round <= 2; round++ {
-				got, want := cp.ICMP(target, round), fp.ICMP(target, round)
-				if got != want {
-					t.Fatalf("ICMP vp=%s target=%v round=%d: capped %+v, memoized %+v",
-						vp.Name, target, round, got, want)
+	for _, width := range []int{1, 17, 256, len(targets)} {
+		for _, vp := range vps {
+			for lo := 0; lo < len(targets); lo += width {
+				hi := lo + width
+				if hi > len(targets) {
+					hi = len(targets)
+				}
+				span := cached.ProbeSpanSession(vp, targets[lo:hi])
+				for i := lo; i < hi; i++ {
+					for round := uint64(1); round <= 2; round++ {
+						got, want := span.ICMP(i-lo, round), uncached.ProbeICMP(vp, targets[i], round)
+						if got != want {
+							t.Fatalf("span[%d:%d] vp=%s target=%v round=%d: span %+v, uncached %+v",
+								lo, hi, vp.Name, targets[i], round, got, want)
+						}
+					}
 				}
 			}
+		}
+	}
+
+	// The resolver's sequential cursor must survive arbitrary target
+	// order (reversed spans break order at every step) and targets the
+	// world never allocated.
+	rev := make([]IP, 0, 512)
+	for i := 400; i >= 0; i-- {
+		rev = append(rev, targets[i])
+	}
+	rev = append(rev, IP(0xDF000001), targets[0], IP(0x01000001))
+	span := cached.ProbeSpanSession(vps[0], rev)
+	for i, target := range rev {
+		got, want := span.ICMP(i, 1), uncached.ProbeICMP(vps[0], target, 1)
+		if got != want {
+			t.Fatalf("reversed span i=%d target=%v: span %+v, uncached %+v", i, target, got, want)
+		}
+	}
+
+	// With the probe cache disabled the span session must degrade to the
+	// reference path, not to stale slabs.
+	slow := uncached.ProbeSpanSession(vps[1], targets[:64])
+	for i := range targets[:64] {
+		got, want := slow.ICMP(i, 3), uncached.ProbeICMP(vps[1], targets[i], 3)
+		if got != want {
+			t.Fatalf("nocache span i=%d: span %+v, reference %+v", i, got, want)
+		}
+	}
+}
+
+// TestSpanSessionHijackBypass checks that a span resolved after a hijack
+// injection routes the hijacked prefix down the live per-probe path, and
+// that clearing the hijack restores fast-path behavior in later spans.
+func TestSpanSessionHijackBypass(t *testing.T) {
+	cached, uncached := sessionTestWorlds(t)
+	vps := sessionTestVPs()
+
+	var prefix Prefix24
+	var target IP
+	cached.Prefixes(func(p Prefix24) {
+		if prefix != 0 || cached.IsAnycast(p) {
+			return
+		}
+		if ip, alive := cached.Representative(p); alive && cached.ProbeICMP(vps[0], ip, 1).OK() {
+			prefix, target = p, ip
+		}
+	})
+	if prefix == 0 {
+		t.Fatal("no responsive unicast prefix found")
+	}
+
+	hijacker := geo.Coord{Lat: -33.9, Lon: 151.2}
+	for _, w := range []*World{cached, uncached} {
+		if err := w.InjectHijack(prefix, hijacker, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, vp := range vps {
+		span := cached.ProbeSpanSession(vp, []IP{target})
+		for round := uint64(1); round <= 3; round++ {
+			got, want := span.ICMP(0, round), uncached.ProbeICMP(vp, target, round)
+			if got != want {
+				t.Fatalf("hijacked span vp=%s round=%d: span %+v, uncached %+v", vp.Name, round, got, want)
+			}
+		}
+	}
+
+	cached.ClearHijack(prefix)
+	uncached.ClearHijack(prefix)
+	for _, vp := range vps {
+		span := cached.ProbeSpanSession(vp, []IP{target})
+		got, want := span.ICMP(0, 2), uncached.ProbeICMP(vp, target, 2)
+		if got != want {
+			t.Fatalf("post-clear span vp=%s: span %+v, uncached %+v", vp.Name, got, want)
 		}
 	}
 }

@@ -72,36 +72,11 @@ type Config struct {
 	JitterMs float64
 
 	// DisableProbeCache turns off the per-VP session memoization of
-	// catchments and RTT bases, forcing every probe down the uncached
-	// reference path. Replies are identical either way (the determinism
-	// tests compare the two); the switch exists for those tests and for
-	// memory-constrained callers.
+	// catchments and RTT bases (and with it the span-session resolver),
+	// forcing every probe down the uncached reference path. Replies are
+	// identical either way (the determinism tests compare the two); the
+	// switch exists for those tests and for memory-constrained callers.
 	DisableProbeCache bool
-
-	// UniBaseCacheCap bounds the per-(VP, /24) unicast RTT-base memo,
-	// which costs 8 bytes per unicast /24 per probing VP (at 250k /24s and
-	// ~300 VPs that is ~600 MB). Worlds with more unicast /24s than the
-	// cap skip that memo — each unicast probe recomputes its base, bit for
-	// bit the same value — while the catchment cache stays on. 0 means
-	// DefaultUniBaseCacheCap; negative disables the memo at any size.
-	UniBaseCacheCap int
-}
-
-// DefaultUniBaseCacheCap keeps the unicast base memo on for every world up
-// to ~131k unicast /24s (≤ ~1 MB per probing VP, covering the default 66k
-// world) and off beyond, where streaming campaigns need the memory for the
-// matrices instead.
-const DefaultUniBaseCacheCap = 1 << 17
-
-// uniBaseCacheCap resolves the cap; see UniBaseCacheCap.
-func (c Config) uniBaseCacheCap() int {
-	switch {
-	case c.UniBaseCacheCap > 0:
-		return c.UniBaseCacheCap
-	case c.UniBaseCacheCap < 0:
-		return 0
-	}
-	return DefaultUniBaseCacheCap
 }
 
 // DefaultConfig returns the configuration used throughout the benchmarks.
@@ -236,13 +211,19 @@ type poolCity struct {
 // allocated upward from here.
 const basePrefix = Prefix24(1 << 16)
 
+// maxUnicast24s bounds Unicast24s so the world (anycast footprint
+// included) stays below the multicast boundary: 224.0.0.0/24 is /24 index
+// 14,680,064, and allocation starts at basePrefix (65,536). The paper's
+// full 10.6M announced /24s fit with room to spare.
+const maxUnicast24s = 14_600_000
+
 // Validate reports the first problem with the configuration, or nil.
 func (c Config) Validate() error {
 	switch {
 	case c.Unicast24s <= 0:
 		return fmt.Errorf("netsim: Unicast24s must be positive, got %d", c.Unicast24s)
-	case c.Unicast24s > 1<<23:
-		return fmt.Errorf("netsim: Unicast24s %d exceeds the 2^23 address budget", c.Unicast24s)
+	case c.Unicast24s > maxUnicast24s:
+		return fmt.Errorf("netsim: Unicast24s %d exceeds the %d address budget", c.Unicast24s, maxUnicast24s)
 	case c.ResponsiveFraction < 0 || c.ResponsiveFraction > 1:
 		return fmt.Errorf("netsim: ResponsiveFraction %v outside [0,1]", c.ResponsiveFraction)
 	case c.ResponsiveFraction+c.AdminFilteredFraction+c.HostProhibitedFraction+c.NetProhibitedFraction > 1:

@@ -49,6 +49,41 @@ func TestFrozenGreylistMatchesMutable(t *testing.T) {
 	}
 }
 
+// TestFrozenGreylistWindow pins the span windowing the probing hot path
+// relies on: membership through any [lo, hi] window matches the full
+// view for addresses inside the window, and everything outside reads
+// absent.
+func TestFrozenGreylistWindow(t *testing.T) {
+	g := NewGreylist()
+	for i := 0; i < 4000; i += 2 {
+		g.Add(netsim.IP(1<<20+i*131), netsim.ReplyAdminFiltered)
+	}
+	f := g.Freeze()
+	for _, w := range [][2]netsim.IP{
+		{0, ^netsim.IP(0)},                    // everything
+		{1 << 20, 1<<20 + 1000},               // head slice
+		{1<<20 + 99999, 1<<20 + 200000},       // middle
+		{1<<20 + 523999, 1<<20 + 524000},      // tail edge
+		{5, 9},                                // empty, below
+		{1 << 30, 1<<30 + 5},                  // empty, above
+		{1<<20 + 131, 1<<20 + 131},            // single address
+	} {
+		win := f.Window(w[0], w[1])
+		for i := 0; i < 4000; i++ {
+			ip := netsim.IP(1<<20 + i*131)
+			want := f.Contains(ip) && ip >= w[0] && ip <= w[1]
+			if win.Contains(ip) != want {
+				t.Fatalf("window [%v,%v] disagrees on %v: got %v, want %v", w[0], w[1], ip, win.Contains(ip), want)
+			}
+		}
+	}
+	var nilF *FrozenGreylist
+	empty := nilF.Window(0, 10)
+	if empty.Contains(netsim.IP(5)) {
+		t.Fatal("nil view must window to empty")
+	}
+}
+
 // TestRunZeroAllocsPerProbe pins the acceptance criterion that the probing
 // inner loop does not allocate per probe: the allocation count of a full
 // run is a small constant independent of the target count.
@@ -69,8 +104,8 @@ func TestRunZeroAllocsPerProbe(t *testing.T) {
 	}
 	sink := func(record.Sample) {}
 
-	runAllocs := func(n int) float64 {
-		sub := targets[:n]
+	runAllocs := func(lo, hi int) float64 {
+		sub := targets[lo:hi]
 		// Warm the session, the frozen view and the found-map buckets so
 		// the measured passes only see steady-state work.
 		if _, _, err := Run(w, vp, sub, skip, Config{Seed: 7, Round: 1}, sink); err != nil {
@@ -83,14 +118,20 @@ func TestRunZeroAllocsPerProbe(t *testing.T) {
 		})
 	}
 
-	small, large := runAllocs(len(targets)/4), runAllocs(len(targets))
-	// The per-run constant covers the stats, permutation and greylist
-	// objects; what it must NOT do is scale with the probe count.
+	small, large := runAllocs(0, len(targets)/4), runAllocs(0, len(targets))
+	// A mid-list span exercises the span-session resolver's windowed
+	// path (cursor repositioning, greylist window) under the same budget.
+	mid := runAllocs(len(targets)/3, 2*len(targets)/3)
+	// The per-run constant covers the stats, permutation, span-slab and
+	// greylist objects; what it must NOT do is scale with the probe count.
 	if large > small+8 {
 		t.Fatalf("allocations scale with target count: %v allocs at n=%d vs %v at n=%d",
 			small, len(targets)/4, large, len(targets))
 	}
 	if large > 24 {
 		t.Fatalf("full run allocated %v times; the inner loop must be allocation-free", large)
+	}
+	if mid > 24 {
+		t.Fatalf("mid-list span run allocated %v times; the span path must be allocation-free per probe", mid)
 	}
 }

@@ -36,6 +36,12 @@ type Metrics struct {
 	Timeouts      atomic.Uint64
 	SourceDropped atomic.Uint64
 	FaultLost     atomic.Uint64
+	// SpansInFlight counts probing runs — (VP, span) work units —
+	// currently executing; spanSeconds records each unit's wall-clock
+	// duration. Both are observed at run granularity, never per probe,
+	// and spanSeconds stays a no-op until Register wires a histogram.
+	SpansInFlight atomic.Int64
+	spanSeconds   atomic.Pointer[obs.Histogram]
 }
 
 // DefaultMetrics is the process-wide aggregate every Run observes into;
@@ -62,6 +68,10 @@ func (m *Metrics) Register(r *obs.Registry) {
 	r.CounterFunc("anycastmap_probe_timeouts_total", "Probes that timed out (includes fault-lost and source-dropped).", m.Timeouts.Load)
 	r.CounterFunc("anycastmap_probe_source_dropped_total", "Replies dropped at the vantage point from excessive probing rates.", m.SourceDropped.Load)
 	r.CounterFunc("anycastmap_probe_fault_lost_total", "Probes lost to injected flap/burst faults.", m.FaultLost.Load)
+	r.GaugeFunc("anycastmap_probe_spans_in_flight", "Probing runs ((VP, span) work units) currently executing.",
+		func() float64 { return float64(m.SpansInFlight.Load()) })
+	m.spanSeconds.Store(r.Histogram("anycastmap_probe_span_seconds",
+		"Wall-clock duration of one (VP, span) probing run.", obs.FastBuckets))
 }
 
 // RegisterGreylistGauge exposes a greylist's live size as
@@ -157,6 +167,35 @@ func (f *FrozenGreylist) Len() int {
 		return 0
 	}
 	return len(f.ips)
+}
+
+// Window returns the sub-view covering addresses in [lo, hi]. A probing
+// run over a narrow target span binary-searches the window's handful of
+// entries instead of the full blacklist (millions of entries at paper
+// scale) on every probe. Safe on a nil view, which windows to empty.
+func (f *FrozenGreylist) Window(lo, hi netsim.IP) FrozenGreylist {
+	if f == nil {
+		return FrozenGreylist{}
+	}
+	a, b := 0, len(f.ips)
+	for a < b {
+		mid := int(uint(a+b) >> 1)
+		if f.ips[mid] < lo {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	c, d := a, len(f.ips)
+	for c < d {
+		mid := int(uint(c+d) >> 1)
+		if f.ips[mid] <= hi {
+			c = mid + 1
+		} else {
+			d = mid
+		}
+	}
+	return FrozenGreylist{ips: f.ips[a:c]}
 }
 
 // Contains reports whether the host is greylisted.
@@ -293,7 +332,13 @@ func RunIndexed(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Grey
 	stats := Stats{VP: vp}
 	// One observation per run, on every return path; the per-probe loop
 	// never touches the metrics.
-	defer DefaultMetrics.observe(&stats)
+	started := time.Now()
+	DefaultMetrics.SpansInFlight.Add(1)
+	defer func() {
+		DefaultMetrics.SpansInFlight.Add(-1)
+		DefaultMetrics.spanSeconds.Load().ObserveSince(started)
+		DefaultMetrics.observe(&stats)
+	}()
 	found := NewGreylist()
 	n := uint64(len(targets))
 	if n == 0 {
@@ -315,12 +360,27 @@ func RunIndexed(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Grey
 	faults := w.Faults()
 	crashAt, crashes := faults.CrashIndex(vp.ID, cfg.Round, cfg.Attempt, n)
 
-	// The inner loop is mutex- and allocation-free per probe: the greylist
-	// is frozen to a lock-free view up front, the VP's catchment/RTT-basis
-	// session is bound once, and greylist discoveries go into the
-	// goroutine-local `found` map directly.
-	frozenSkip := skip.Freeze()
-	probe := w.ProbeSession(vp)
+	// The inner loop is mutex-, map- and allocation-free per probe: the
+	// greylist is frozen and windowed down to the span's address range up
+	// front, the (VP, span) slab session is resolved once, and greylist
+	// discoveries go into the goroutine-local `found` map directly. Per
+	// probe the loop touches only the span slabs and the per-round draws,
+	// so the probe rate stays flat from 20k-target runs to full-Internet
+	// censuses.
+	spanLo, spanHi := targets[0], targets[0]
+	for _, target := range targets[1:] {
+		if target < spanLo {
+			spanLo = target
+		}
+		if target > spanHi {
+			spanHi = target
+		}
+	}
+	win := skip.Freeze().Window(spanLo, spanHi)
+	var span netsim.SpanSession
+	if !cfg.Wire {
+		span = w.ProbeSpanSession(vp, targets)
+	}
 
 	for i := uint64(0); ; i++ {
 		idx, ok := perm.Next()
@@ -336,7 +396,7 @@ func RunIndexed(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Grey
 			}
 		}
 		target := targets[idx]
-		if frozenSkip.Contains(target) {
+		if win.Contains(target) {
 			continue
 		}
 		stats.Sent++
@@ -368,7 +428,7 @@ func RunIndexed(w *netsim.World, vp platform.VP, targets []netsim.IP, skip *Grey
 			}
 			reply = wireReply
 		} else {
-			reply = probe.ICMP(target, cfg.Round)
+			reply = span.ICMP(int(idx), cfg.Round)
 		}
 
 		// Replies aggregate near the vantage point: at excessive rates a

@@ -63,6 +63,8 @@ esac
 require_series "$scrape" \
     anycastmap_probe_probes_sent_total \
     anycastmap_probe_echo_replies_total \
+    anycastmap_probe_span_seconds_count \
+    anycastmap_probe_spans_in_flight \
     anycastmap_census_rounds_folded_total \
     anycastmap_census_analyze_seconds_count \
     anycastmap_store_snapshot_version \
@@ -86,6 +88,8 @@ scrape=$BIN/censusd.metrics
 curl -fsS "http://$CENSUSD_ADDR/metrics" -o "$scrape"
 require_series "$scrape" \
     anycastmap_probe_probes_sent_total \
+    anycastmap_probe_span_seconds_count \
+    anycastmap_probe_spans_in_flight \
     anycastmap_census_rounds_folded_total \
     anycastmap_cluster_agents_joined_total \
     anycastmap_cluster_leases_total \
